@@ -1,0 +1,18 @@
+"""Benchmark R10 — regenerates the 'bfs' table/figure (DESIGN.md §4).
+
+Runs the reconstructed experiment in quick mode under pytest-benchmark
+(the benchmark clock measures host wall time of the simulation; the
+table's numbers are simulated-time metrics) and asserts the paper's
+qualitative shape checks.
+"""
+
+from repro.bench.experiments import r10_bfs
+
+
+def test_r10_bfs(benchmark):
+    result = benchmark.pedantic(r10_bfs.run, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.all_checks_pass, \
+        f"shape checks failed: {result.failed_checks()}"

@@ -1,0 +1,18 @@
+"""Benchmark R11 — regenerates the 'collectives' table/figure (DESIGN.md §4).
+
+Runs the reconstructed experiment in quick mode under pytest-benchmark
+(the benchmark clock measures host wall time of the simulation; the
+table's numbers are simulated-time metrics) and asserts the paper's
+qualitative shape checks.
+"""
+
+from repro.bench.experiments import r11_collectives
+
+
+def test_r11_collectives(benchmark):
+    result = benchmark.pedantic(r11_collectives.run, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.all_checks_pass, \
+        f"shape checks failed: {result.failed_checks()}"

@@ -1,0 +1,16 @@
+"""Benchmark R12 — regenerates the 'eager_threshold' ablation (DESIGN.md §4).
+
+Runs the reconstructed experiment in quick mode under pytest-benchmark
+and asserts its qualitative shape checks.
+"""
+
+from repro.bench.experiments import r12_eager_threshold
+
+
+def test_r12_eager_threshold(benchmark):
+    result = benchmark.pedantic(r12_eager_threshold.run, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.all_checks_pass, \
+        f"shape checks failed: {result.failed_checks()}"

@@ -1,0 +1,16 @@
+"""Benchmark R13 — regenerates the 'gups' ablation (DESIGN.md §4).
+
+Runs the reconstructed experiment in quick mode under pytest-benchmark
+and asserts its qualitative shape checks.
+"""
+
+from repro.bench.experiments import r13_gups
+
+
+def test_r13_gups(benchmark):
+    result = benchmark.pedantic(r13_gups.run, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.all_checks_pass, \
+        f"shape checks failed: {result.failed_checks()}"

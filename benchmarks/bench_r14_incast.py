@@ -1,0 +1,16 @@
+"""Benchmark R14 — regenerates the 'incast' ablation (DESIGN.md §4).
+
+Runs the reconstructed experiment in quick mode under pytest-benchmark
+and asserts its qualitative shape checks.
+"""
+
+from repro.bench.experiments import r14_incast
+
+
+def test_r14_incast(benchmark):
+    result = benchmark.pedantic(r14_incast.run, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.all_checks_pass, \
+        f"shape checks failed: {result.failed_checks()}"

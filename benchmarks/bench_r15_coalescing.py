@@ -1,0 +1,16 @@
+"""Benchmark R15 — regenerates the 'coalescing' ablation (DESIGN.md §4).
+
+Runs the reconstructed experiment in quick mode under pytest-benchmark
+and asserts its qualitative shape checks.
+"""
+
+from repro.bench.experiments import r15_coalescing
+
+
+def test_r15_coalescing(benchmark):
+    result = benchmark.pedantic(r15_coalescing.run, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.all_checks_pass, \
+        f"shape checks failed: {result.failed_checks()}"

@@ -1,0 +1,17 @@
+"""Benchmark R16 — regenerates the 'samplesort' application run
+(DESIGN.md §4).
+
+Runs the reconstructed experiment in quick mode under pytest-benchmark
+and asserts its qualitative shape checks.
+"""
+
+from repro.bench.experiments import r16_samplesort
+
+
+def test_r16_samplesort(benchmark):
+    result = benchmark.pedantic(r16_samplesort.run, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.all_checks_pass, \
+        f"shape checks failed: {result.failed_checks()}"

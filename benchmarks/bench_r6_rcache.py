@@ -1,0 +1,18 @@
+"""Benchmark R6 — regenerates the 'rcache' table/figure (DESIGN.md §4).
+
+Runs the reconstructed experiment in quick mode under pytest-benchmark
+(the benchmark clock measures host wall time of the simulation; the
+table's numbers are simulated-time metrics) and asserts the paper's
+qualitative shape checks.
+"""
+
+from repro.bench.experiments import r6_rcache
+
+
+def test_r6_rcache(benchmark):
+    result = benchmark.pedantic(r6_rcache.run, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.all_checks_pass, \
+        f"shape checks failed: {result.failed_checks()}"

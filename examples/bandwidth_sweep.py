@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Bandwidth sweep: Photon put stream vs minimpi isend stream.
+
+Sweeps message sizes from 1 KiB to 1 MiB and prints an ASCII rendering
+of the R2 bandwidth figure, showing the mid-range gap where MPI's
+rendezvous handshake is not yet amortised and the convergence to link
+rate at large sizes.
+
+Run:  python examples/bandwidth_sweep.py
+"""
+
+from repro.bench import bandwidth_mpi, bandwidth_photon
+from repro.fabric import preset
+from repro.util import format_series, format_size
+
+SIZES = [1024, 4096, 16384, 65536, 262144, 1 << 20]
+
+
+def main() -> None:
+    link = preset("ib-fdr").link.bandwidth_gbps
+    print(f"unidirectional stream, window=8, ib-fdr "
+          f"(nominal link {link:.0f} Gbit/s)\n")
+    labels = [format_size(s) for s in SIZES]
+    photon = []
+    mpi = []
+    for size in SIZES:
+        photon.append(bandwidth_photon(size, count=32, window=8))
+        mpi.append(bandwidth_mpi(size, count=32, window=8))
+        print(f"  measured {format_size(size):>7}: "
+              f"photon {photon[-1]:6.2f}  mpi {mpi[-1]:6.2f} Gbit/s")
+    print()
+    print(format_series("photon put stream (Gbit/s)", labels, photon))
+    print()
+    print(format_series("mpi isend stream (Gbit/s)", labels, mpi))
+    print()
+    crossover = next((format_size(s) for s, a, b in
+                      zip(SIZES, photon, mpi) if a / b < 1.05), "none")
+    print(f"first size where MPI is within 5% of photon: {crossover}")
+
+
+if __name__ == "__main__":
+    main()

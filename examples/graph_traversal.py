@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Distributed BFS with parcels over Photon — the runtime integration demo.
+
+Builds a 500-vertex random graph, partitions it over 4 simulated ranks,
+and runs level-synchronous BFS where frontier expansion travels as
+parcels on the Photon-PWC transport (and, for comparison, as alltoallv
+exchanges on minimpi).  Depths verify against a sequential BFS.
+
+Run:  python examples/graph_traversal.py
+"""
+
+from repro.apps import (
+    make_graph,
+    merge_depths,
+    reference_depths,
+    run_bfs_mpi,
+    run_bfs_photon,
+)
+from repro.cluster import build_cluster
+from repro.minimpi import mpi_init
+from repro.photon import photon_init
+
+RANKS = 4
+VERTICES = 500
+DEGREE = 8.0
+ROOT = 0
+
+
+def run(transport: str, adj):
+    cluster = build_cluster(RANKS, params="ib-fdr")
+    if transport == "photon":
+        endpoints = photon_init(cluster)
+        programs, results = run_bfs_photon(cluster, endpoints, adj, ROOT)
+    else:
+        comms = mpi_init(cluster)
+        programs, results = run_bfs_mpi(cluster, comms, adj, ROOT)
+    procs = [cluster.env.process(p) for p in programs]
+    cluster.env.run(until=cluster.env.all_of(procs))
+    return results
+
+
+def main() -> None:
+    adj = make_graph(VERTICES, DEGREE, seed=7)
+    want = reference_depths(adj, ROOT)
+    reached = sum(1 for d in want.values() if d >= 0)
+    print(f"BFS on |V|={VERTICES}, avg degree ~{DEGREE}, root={ROOT}: "
+          f"{reached} reachable vertices, "
+          f"{max(want.values())} levels\n")
+
+    print(f"{'transport':<10} {'time (ms)':>10} {'levels':>7} "
+          f"{'msgs':>6}  verified")
+    times = {}
+    for transport in ("photon", "mpi"):
+        results = run(transport, adj)
+        got = merge_depths(results)
+        ok = got == want
+        elapsed = max(r.elapsed_ns for r in results)
+        times[transport] = elapsed
+        print(f"{transport:<10} {elapsed / 1e6:10.3f} "
+              f"{results[0].levels:7d} "
+              f"{sum(r.parcels for r in results):6d}  "
+              f"{'matches reference' if ok else 'MISMATCH!'}")
+        assert ok
+    print(f"\nphoton/mpi speedup: "
+          f"{times['mpi'] / times['photon']:.2f}x — frontier batches are "
+          f"many small irregular messages,\nthe regime matching-free "
+          f"one-sided delivery is built for.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Halo exchange: a 2-D Jacobi stencil on Photon vs minimpi.
+
+Runs the same 64x48 grid for 10 iterations on 4 simulated ranks with
+both transports, verifies each against the sequential reference, and
+prints the per-iteration time and communication fraction — a miniature
+of experiment R9.
+
+Run:  python examples/halo_exchange.py
+"""
+
+import numpy as np
+
+from repro.apps import (
+    assemble,
+    initial_grid,
+    reference_jacobi,
+    run_stencil_mpi,
+    run_stencil_photon,
+)
+from repro.cluster import build_cluster
+from repro.minimpi import mpi_init
+from repro.photon import photon_init
+
+RANKS = 4
+ROWS, COLS, ITERS = 64, 48, 10
+
+
+def run(transport: str):
+    cluster = build_cluster(RANKS, params="ib-fdr")
+    if transport == "photon":
+        endpoints = photon_init(cluster)
+        programs, results = run_stencil_photon(cluster, endpoints,
+                                               ROWS, COLS, ITERS)
+    else:
+        comms = mpi_init(cluster)
+        programs, results = run_stencil_mpi(cluster, comms,
+                                            ROWS, COLS, ITERS)
+    procs = [cluster.env.process(p) for p in programs]
+    cluster.env.run(until=cluster.env.all_of(procs))
+    return cluster, results
+
+
+def main() -> None:
+    reference = reference_jacobi(initial_grid(ROWS, COLS), ITERS)
+    print(f"2-D Jacobi, {ROWS}x{COLS} grid, {ITERS} iterations, "
+          f"{RANKS} ranks\n")
+    print(f"{'transport':<10} {'us/iter':>9} {'comm %':>7}  verified")
+    for transport in ("photon", "mpi"):
+        cluster, results = run(transport)
+        got = assemble(results, ROWS, COLS, RANKS)
+        ok = np.array_equal(got, reference)
+        elapsed = max(r.elapsed_ns for r in results)
+        comm = max(r.comm_ns for r in results)
+        print(f"{transport:<10} {elapsed / ITERS / 1000:9.2f} "
+              f"{100 * comm / elapsed:7.1f}  "
+              f"{'bit-identical to reference' if ok else 'MISMATCH!'}")
+        assert ok
+    print("\nThe photon variant puts halo rows straight into the "
+          "neighbour's exposed buffer\n(no matching, no rendezvous); "
+          "the completion id doubles as the iteration tag.")
+
+
+if __name__ == "__main__":
+    main()

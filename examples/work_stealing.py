@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Distributed dynamic load balancing with remote atomics and the GAS.
+
+A bag of 64 unevenly sized tasks lives in a global address space; a
+single global ticket counter on rank 0 hands out task indices via remote
+fetch-and-add.  Every rank loops: take a ticket, memget the task
+descriptor, "compute" for the task's duration — no master process, no
+message matching, just one-sided operations.  Compare with a static
+block partition of the same tasks: dynamic balancing finishes close to
+the theoretical optimum even though task sizes are skewed.
+
+Run:  python examples/work_stealing.py
+"""
+
+import struct
+
+from repro.cluster import build_cluster
+from repro.photon import photon_init
+from repro.runtime import gas_allocate
+from repro.util import to_us
+
+RANKS = 4
+N_TASKS = 64
+
+
+def task_cost_ns(i: int) -> int:
+    """Skewed task sizes: the heavy tasks cluster at the front of the
+    bag (skewed data locality), which is what breaks static partitions."""
+    return 300_000 if i < 8 else 10_000 + (i * 977) % 20_000
+
+
+def main() -> None:
+    cluster = build_cluster(RANKS, params="ib-fdr")
+    ph = photon_init(cluster)
+    gas = gas_allocate(ph, total=N_TASKS * 8, block_size=256)
+    counter = ph[0].buffer(8)
+    scratch = [ep.buffer(4096) for ep in ph]
+
+    # rank 0 publishes the task table into the GAS
+    def publish(env):
+        for i in range(N_TASKS):
+            yield from gas[0].memput(i * 8,
+                                     struct.pack("<q", task_cost_ns(i)),
+                                     scratch[0].addr)
+
+    p = cluster.env.process(publish(cluster.env))
+    cluster.env.run(until=p)
+
+    done_at = {}
+    tasks_by = {r: 0 for r in range(RANKS)}
+
+    def worker(env, rank):
+        ep = ph[rank]
+        while True:
+            ticket = yield from ep.fetch_add_blocking(
+                0, counter.addr, counter.rkey, 1)
+            if ticket >= N_TASKS:
+                break
+            raw = yield from gas[rank].memget(ticket * 8, 8,
+                                              scratch[rank].addr)
+            cost, = struct.unpack("<q", raw)
+            yield env.timeout(cost)  # "compute"
+            tasks_by[rank] += 1
+        done_at[rank] = env.now
+
+    t0 = cluster.env.now
+    procs = [cluster.env.process(worker(cluster.env, r))
+             for r in range(RANKS)]
+    cluster.env.run(until=cluster.env.all_of(procs))
+    dynamic = max(done_at.values()) - t0
+
+    # static baseline: contiguous blocks, no balancing
+    per_rank = [sum(task_cost_ns(i)
+                    for i in range(r * N_TASKS // RANKS,
+                                   (r + 1) * N_TASKS // RANKS))
+                for r in range(RANKS)]
+    static = max(per_rank)
+    ideal = sum(task_cost_ns(i) for i in range(N_TASKS)) / RANKS
+
+    print(f"{N_TASKS} skewed tasks on {RANKS} ranks\n")
+    print(f"{'rank':>4}  {'tasks taken':>11}  {'finished at':>12}")
+    for r in range(RANKS):
+        print(f"{r:>4}  {tasks_by[r]:>11}  {to_us(done_at[r] - t0):>10.1f}us")
+    print()
+    print(f"dynamic (atomic tickets) : {to_us(dynamic):8.1f} us")
+    print(f"static block partition   : {to_us(static):8.1f} us "
+          f"(compute only, zero comm)")
+    print(f"perfect balance would be : {to_us(int(ideal)):8.1f} us")
+    print(f"\ndynamic balancing is within "
+          f"{100 * (dynamic - ideal) / ideal:.0f}% of ideal despite paying "
+          f"a remote atomic per task;")
+    print("the static partition loses "
+          f"{100 * (static - ideal) / ideal:.0f}% to skew.")
+    assert dynamic < static
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Mini-applications exercising the middleware under realistic workloads.
+
+- :mod:`repro.apps.stencil` — structured-grid halo exchange (R9)
+- :mod:`repro.apps.bfs` — irregular graph traversal over parcels (R10)
+- :mod:`repro.apps.gups` — random remote updates (latency-bound)
+"""
+
+from .bfs import (
+    BfsResult,
+    make_graph,
+    merge_depths,
+    reference_depths,
+    run_bfs_mpi,
+    run_bfs_photon,
+)
+from .gups import (
+    GupsResult,
+    run_gups_mpi_p2p,
+    run_gups_mpi_rma,
+    run_gups_photon,
+    run_gups_photon_atomic,
+)
+from .samplesort import (
+    SortResult,
+    make_keys,
+    run_samplesort_mpi,
+    run_samplesort_photon,
+    verify_sorted,
+)
+from .stencil import (
+    StencilResult,
+    assemble,
+    initial_grid,
+    partition_rows,
+    reference_jacobi,
+    run_stencil_mpi,
+    run_stencil_photon,
+)
+
+__all__ = [
+    "BfsResult", "make_graph", "merge_depths", "reference_depths",
+    "run_bfs_mpi", "run_bfs_photon",
+    "GupsResult", "run_gups_mpi_p2p", "run_gups_mpi_rma", "run_gups_photon",
+    "run_gups_photon_atomic",
+    "SortResult", "make_keys", "run_samplesort_mpi", "run_samplesort_photon",
+    "verify_sorted",
+    "StencilResult", "assemble", "initial_grid", "partition_rows",
+    "reference_jacobi", "run_stencil_mpi", "run_stencil_photon",
+]

@@ -1,0 +1,224 @@
+"""Random-access remote updates (GUPS-flavoured) — the latency-bound app.
+
+Every rank owns a slice of a global table and fires 8-byte updates at
+random remote slots.  Three variants with identical traffic patterns:
+
+- ``photon``: one-sided ``post_os_put`` per update, windowed waits;
+- ``mpi_rma``: MPI-3 window puts with a flush per window;
+- ``mpi_p2p``: two-sided — the update is *sent* to the owner, whose
+  progress loop applies it (owner CPU on the critical path).
+
+The metric is updates/second; verification counts landed updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..cluster import Cluster
+from ..minimpi.comm import Comm
+from ..minimpi.rma import Win
+from ..minimpi.status import ANY_SOURCE
+from ..photon.api import Photon
+from ..sim.core import SimulationError
+
+__all__ = ["GupsResult", "run_gups_photon", "run_gups_photon_atomic",
+           "run_gups_mpi_rma", "run_gups_mpi_p2p"]
+
+_UPDATE_TAG = (1 << 42) + 3
+
+
+@dataclass
+class GupsResult:
+    rank: int
+    updates_issued: int
+    elapsed_ns: int
+
+    @property
+    def updates_per_sec(self) -> float:
+        return self.updates_issued / (self.elapsed_ns / 1e9)
+
+
+def _targets(cluster: Cluster, rank: int, n_updates: int, slots_per_rank: int):
+    """Deterministic pseudo-random (peer, slot) sequence for one rank."""
+    rng = cluster.rng.stream(f"gups.rank{rank}")
+    n = cluster.n
+    peers = rng.integers(0, n - 1, size=n_updates)
+    peers = (peers + (peers >= rank)).astype(int)  # exclude self
+    slots = rng.integers(0, slots_per_rank, size=n_updates).astype(int)
+    return list(zip(peers.tolist(), slots.tolist()))
+
+
+def run_gups_photon(cluster: Cluster, endpoints: List[Photon],
+                    n_updates: int, slots_per_rank: int = 1024,
+                    window: int = 32):
+    """Photon one-sided variant (programs, results, tables)."""
+    n = cluster.n
+    tables = [ep.buffer(slots_per_rank * 8) for ep in endpoints]
+    stage = [ep.buffer(8 * window) for ep in endpoints]
+    results: List[Optional[GupsResult]] = [None] * n
+
+    def program(rank: int):
+        ep = endpoints[rank]
+        env = cluster.env
+        t0 = env.now
+        rids = []
+        for i, (peer, slot) in enumerate(
+                _targets(cluster, rank, n_updates, slots_per_rank)):
+            saddr = stage[rank].addr + (i % window) * 8
+            ep.memory.write_u64(saddr, (rank << 32) | (i + 1))
+            rid = yield from ep.post_os_put(
+                peer, saddr, 8, tables[peer].addr + slot * 8,
+                tables[peer].rkey)
+            rids.append(rid)
+            if len(rids) >= window:
+                # rolling window: retire the oldest, keep the pipe full
+                oldest = rids.pop(0)
+                yield from ep.wait(oldest)
+                ep.free_request(oldest)
+        yield from ep.wait_all(rids)
+        for r in rids:
+            ep.free_request(r)
+        results[rank] = GupsResult(rank=rank, updates_issued=n_updates,
+                                   elapsed_ns=env.now - t0)
+
+    return [program(r) for r in range(n)], results, tables
+
+
+def run_gups_photon_atomic(cluster: Cluster, endpoints: List[Photon],
+                           n_updates: int, slots_per_rank: int = 1024,
+                           window: int = 32):
+    """True read-modify-write GUPS: remote fetch-add per update.
+
+    Unlike the put variant, concurrent updates to the same slot are
+    never lost — the invariant the verification in the tests asserts
+    (sum of all slots == total updates issued).
+    """
+    n = cluster.n
+    tables = [ep.buffer(slots_per_rank * 8) for ep in endpoints]
+    results: List[Optional[GupsResult]] = [None] * n
+
+    def program(rank: int):
+        ep = endpoints[rank]
+        env = cluster.env
+        t0 = env.now
+        inflight = 0
+        for i, (peer, slot) in enumerate(
+                _targets(cluster, rank, n_updates, slots_per_rank)):
+            yield from ep.atomic_fadd(peer, tables[peer].addr + slot * 8,
+                                      tables[peer].rkey, 1,
+                                      local_cid=(1 << 50) + i)
+            inflight += 1
+            if inflight >= window:
+                c = yield from ep.wait_completion("local",
+                                                  timeout_ns=10 ** 12)
+                if c is None:
+                    raise SimulationError("atomic gups stalled")
+                ep.atomic_result(c.cid)
+                inflight -= 1
+        while inflight:
+            c = yield from ep.wait_completion("local", timeout_ns=10 ** 12)
+            if c is None:
+                raise SimulationError("atomic gups drain stalled")
+            ep.atomic_result(c.cid)
+            inflight -= 1
+        results[rank] = GupsResult(rank=rank, updates_issued=n_updates,
+                                   elapsed_ns=env.now - t0)
+
+    return [program(r) for r in range(n)], results, tables
+
+
+def run_gups_mpi_rma(cluster: Cluster, comms: List[Comm], wins: List[Win],
+                     n_updates: int, slots_per_rank: int = 1024,
+                     window: int = 32):
+    """MPI-3 RMA variant: puts + flush per window."""
+    n = cluster.n
+    results: List[Optional[GupsResult]] = [None] * n
+    stage = [comm.memory.alloc(8 * window) for comm in comms]
+
+    def program(rank: int):
+        comm = comms[rank]
+        win = wins[rank]
+        env = cluster.env
+        t0 = env.now
+        outstanding = 0
+        for i, (peer, slot) in enumerate(
+                _targets(cluster, rank, n_updates, slots_per_rank)):
+            saddr = stage[rank] + (i % window) * 8
+            comm.memory.write_u64(saddr, (rank << 32) | (i + 1))
+            yield from win.put(saddr, 8, rank=peer, offset=slot * 8)
+            outstanding += 1
+            if outstanding >= window:
+                yield from win.flush()
+                outstanding = 0
+        yield from win.flush()
+        results[rank] = GupsResult(rank=rank, updates_issued=n_updates,
+                                   elapsed_ns=env.now - t0)
+
+    return [program(r) for r in range(n)], results
+
+
+def run_gups_mpi_p2p(cluster: Cluster, comms: List[Comm],
+                     n_updates: int, slots_per_rank: int = 1024,
+                     window: int = 32):
+    """Two-sided variant: updates are messages the owner must receive.
+
+    Each rank interleaves issuing its own updates with servicing inbound
+    ones; termination via a final count exchange (every rank knows it must
+    receive exactly the sum of updates targeted at it — precomputed here
+    from the deterministic target streams).
+    """
+    n = cluster.n
+    all_targets = {r: _targets(cluster, r, n_updates, slots_per_rank)
+                   for r in range(n)}
+    expected = [sum(1 for r in range(n) for (p, _s) in all_targets[r]
+                    if p == rank) for rank in range(n)]
+    tables = [comm.memory.alloc(slots_per_rank * 8) for comm in comms]
+    results: List[Optional[GupsResult]] = [None] * n
+
+    def program(rank: int):
+        comm = comms[rank]
+        env = cluster.env
+        mem = comm.memory
+        t0 = env.now
+        send_stage = mem.alloc(16 * window)
+        recv_stage = mem.alloc(16)
+        sent = 0
+        received = 0
+        reqs = []
+        targets = all_targets[rank]
+
+        def service():
+            """Drain any inbound updates (generator)."""
+            nonlocal received
+            while received < expected[rank]:
+                st = yield from comm.iprobe(src=ANY_SOURCE, tag=_UPDATE_TAG)
+                if st is None:
+                    return
+                yield from comm.recv(recv_stage, 16, src=st.source,
+                                     tag=_UPDATE_TAG)
+                slot = mem.read_u64(recv_stage)
+                value = mem.read_u64(recv_stage + 8)
+                mem.write_u64(tables[rank] + slot * 8, value)
+                yield env.timeout(mem.memcpy_cost_ns(8))
+                received += 1
+
+        while sent < n_updates or received < expected[rank]:
+            if sent < n_updates:
+                peer, slot = targets[sent]
+                saddr = send_stage + (sent % window) * 16
+                mem.write_u64(saddr, slot)
+                mem.write_u64(saddr + 8, (rank << 32) | (sent + 1))
+                req = yield from comm.isend(saddr, 16, peer, _UPDATE_TAG)
+                reqs.append(req)
+                sent += 1
+                if len(reqs) >= window:
+                    yield from comm.waitall(reqs)
+                    reqs.clear()
+            yield from service()
+        yield from comm.waitall(reqs)
+        results[rank] = GupsResult(rank=rank, updates_issued=n_updates,
+                                   elapsed_ns=env.now - t0)
+
+    return [program(r) for r in range(n)], results, tables

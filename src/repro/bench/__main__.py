@@ -1,0 +1,68 @@
+"""CLI: regenerate the experiment tables.
+
+Usage::
+
+    python -m repro.bench            # run everything, quick mode
+    python -m repro.bench --full     # full sweeps (slower)
+    python -m repro.bench r1 r5      # selected experiments
+    python -m repro.bench --markdown out.md   # write EXPERIMENTS-style md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import ALL
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.bench")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (r1..r11); default: all")
+    parser.add_argument("--full", action="store_true",
+                        help="full sweeps instead of quick mode")
+    parser.add_argument("--markdown", metavar="PATH",
+                        help="also write results as markdown")
+    args = parser.parse_args(argv)
+
+    wanted = args.experiments or list(ALL)
+    unknown = [w for w in wanted if w not in ALL]
+    if unknown:
+        parser.error(f"unknown experiments {unknown}; known: {sorted(ALL)}")
+
+    results = []
+    failed = []
+    for key in wanted:
+        module = ALL[key]
+        t0 = time.time()
+        result = module.run(quick=not args.full)
+        wall = time.time() - t0
+        results.append(result)
+        print(result.render())
+        print(f"  (host wall time {wall:.1f}s)")
+        print()
+        if not result.all_checks_pass:
+            failed.append((key, result.failed_checks()))
+
+    if args.markdown:
+        with open(args.markdown, "w") as fh:
+            fh.write("# Experiment results\n\n")
+            for r in results:
+                fh.write(r.to_markdown())
+                fh.write("\n")
+        print(f"wrote {args.markdown}")
+
+    if failed:
+        print("SHAPE CHECK FAILURES:")
+        for key, names in failed:
+            for n in names:
+                print(f"  {key}: {n}")
+        return 1
+    print(f"all shape checks passed across {len(results)} experiments")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

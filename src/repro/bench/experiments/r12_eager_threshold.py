@@ -1,0 +1,98 @@
+"""R12 — eager-threshold ablation (design choice called out in DESIGN.md §5).
+
+Sweeps a fixed 4 KiB message across eager limits on *both* stacks:
+
+- Photon: payloads above ``eager_limit`` must use the rendezvous
+  advertisement protocol instead of the eager ring;
+- minimpi: payloads above ``eager_threshold`` switch from bounce-buffer
+  copies to RTS/RGET/FIN.
+
+Expected shape: for a message just *under* the threshold the eager path
+wins on latency (no handshake); just *over* it, latency jumps by roughly
+one round trip — the protocols cross exactly at the knob, which is why
+both systems expose it.
+"""
+
+from __future__ import annotations
+
+from ...cluster import build_cluster
+from ...minimpi import MPIConfig
+from ...photon import PhotonConfig, photon_init
+from ...sim.core import SimulationError
+from ..microbench import pingpong_mpi
+from ..result import ExperimentResult
+
+MSG = 4096
+LIMITS = [2048, 8192]  # below and above the 4 KiB message
+
+
+def _photon_latency(eager_limit: int, reps: int) -> float:
+    """One-way delivery latency of a 4 KiB message under the limit."""
+    cfg = PhotonConfig(eager_limit=eager_limit)
+    cl = build_cluster(2, params="ib-fdr")
+    ph = photon_init(cl, cfg)
+    scratch_s = ph[0].buffer(MSG * 2)
+    scratch_r = ph[1].buffer(MSG * 2)
+    payload = bytes(MSG)
+    samples = []
+
+    def sender(env):
+        for i in range(reps + 2):
+            t0 = env.now
+            yield from ph[0].send_msg(1, payload, tag=i,
+                                      scratch_addr=scratch_s.addr)
+            # wait for the receiver's echo tag
+            m = yield from ph[0].wait_message(
+                lambda s, c, want=i: c == want, timeout_ns=10 ** 12)
+            if m is None:
+                raise SimulationError("r12 echo lost")
+            if i >= 2:
+                samples.append((env.now - t0) / 2)
+
+    def receiver(env):
+        for i in range(reps + 2):
+            m = yield from ph[1].recv_msg(src=0, tag=i,
+                                          scratch_addr=scratch_r.addr,
+                                          timeout_ns=10 ** 12)
+            if m is None:
+                raise SimulationError("r12 recv lost")
+            yield from ph[1].send_pwc(0, b"", remote_cid=i)
+
+    p0 = cl.env.process(sender(cl.env))
+    p1 = cl.env.process(receiver(cl.env))
+    cl.env.run(until=cl.env.all_of([p0, p1]))
+    return sum(samples) / len(samples) / 1000.0
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    reps = 8 if quick else 30
+    rows = []
+    data = {}
+    for limit in LIMITS:
+        ph_lat = _photon_latency(limit, reps)
+        mpi_lat = pingpong_mpi(
+            MSG, reps=reps,
+            config=MPIConfig(eager_threshold=limit)).mean_us
+        mode = "eager" if MSG <= limit else "rendezvous"
+        data[limit] = (ph_lat, mpi_lat)
+        rows.append([limit, mode, ph_lat, mpi_lat])
+
+    below, above = LIMITS[0], LIMITS[-1]
+    checks = {
+        "photon: rendezvous path costs more than the eager path":
+            data[below][0] > data[above][0],
+        "mpi: rendezvous path costs more than the eager path":
+            data[below][1] > data[above][1],
+        "the jump is at least half a round trip on both stacks":
+            (data[below][0] - data[above][0] > 0.5
+             and data[below][1] - data[above][1] > 0.5),
+    }
+    return ExperimentResult(
+        exp_id="R12",
+        title=f"eager-threshold ablation: {MSG}B message latency (us) "
+              "under each limit",
+        headers=["eager limit", "protocol used", "photon", "mpi"],
+        rows=rows,
+        checks=checks,
+        notes="the same 4 KiB message, forced through each protocol by "
+              "moving the threshold around it.")

@@ -1,0 +1,83 @@
+"""R14 — incast congestion and topology sensitivity.
+
+N-1 ranks simultaneously stream a fixed-size put to rank 0.  On the star
+topology the victim's downlink is the shared bottleneck, so completion
+time grows ~linearly with the number of senders; on the Gemini-style
+torus, traffic converges over multiple ejection paths but the single
+ejection link still serialises — the experiment quantifies both, a
+fabric-model validation the middleware results rest on.
+"""
+
+from __future__ import annotations
+
+from ...cluster import build_cluster
+from ...photon import photon_init
+from ...sim.core import SimulationError
+from ..result import ExperimentResult
+
+SIZE = 256 * 1024
+
+
+def _incast(n: int, params: str, topology: str) -> float:
+    """Time until the victim saw all n-1 remote completions (us)."""
+    cl = build_cluster(n, params=params, topology=topology)
+    ph = photon_init(cl)
+    dst = ph[0].buffer(SIZE * (n - 1))
+    srcs = [ph[r].buffer(SIZE) if r else None for r in range(n)]
+    out = {}
+
+    def sender(env, rank):
+        yield from ph[rank].put_pwc(
+            0, srcs[rank].addr, SIZE, dst.addr + (rank - 1) * SIZE,
+            dst.rkey, remote_cid=rank)
+
+    def victim(env):
+        t0 = env.now
+        got = 0
+        while got < n - 1:
+            c = yield from ph[0].wait_completion("remote",
+                                                 timeout_ns=10 ** 12)
+            if c is None:
+                raise SimulationError("incast stalled")
+            got += 1
+        out["elapsed"] = env.now - t0
+
+    procs = [cl.env.process(sender(cl.env, r)) for r in range(1, n)]
+    procs.append(cl.env.process(victim(cl.env)))
+    cl.env.run(until=cl.env.all_of(procs))
+    return out["elapsed"] / 1000.0
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    fanins = [2, 4] if quick else [2, 4, 8]
+    rows = []
+    star = {}
+    torus = {}
+    for n in fanins:
+        star[n] = _incast(n + 1, "ib-fdr", "star")
+        torus[n] = _incast(n + 1, "gemini", "torus2d")
+        rows.append([n, star[n], torus[n],
+                     star[n] / star[fanins[0]],
+                     torus[n] / torus[fanins[0]]])
+
+    first, last = fanins[0], fanins[-1]
+    expected_ratio = last / first
+    checks = {
+        "star incast scales ~linearly with fan-in (shared downlink)":
+            0.7 * expected_ratio <= star[last] / star[first]
+            <= 1.3 * expected_ratio,
+        "torus incast also serialises at the ejection link":
+            torus[last] > torus[first] * 1.5,
+        "single-sender baseline is bandwidth-bound, not latency-bound":
+            star[first] > 30.0,  # 2x256KiB at 54 Gbit/s ~ 78 us
+    }
+    return ExperimentResult(
+        exp_id="R14",
+        title=f"incast: time for N senders x {SIZE // 1024}KiB into one "
+              "victim (us)",
+        headers=["senders", "star/ib-fdr", "torus/gemini",
+                 "star scaling", "torus scaling"],
+        rows=rows,
+        checks=checks,
+        notes="scaling columns are normalised to the smallest fan-in; "
+              "~N means the victim link is the bottleneck.")

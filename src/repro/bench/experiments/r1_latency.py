@@ -1,0 +1,62 @@
+"""R1 — small-message latency (reconstruction of the latency figure).
+
+Half-round-trip latency vs message size for Photon PWC put, Photon eager
+send, Photon os_put (origin-observed), minimpi send/recv and minimpi RMA
+put+flush, all on the ib-fdr preset.
+
+Expected shape: PWC and the eager send beat two-sided MPI across small
+sizes (no matching, no bounce copies); RMA+flush is origin-observed and
+pays the full ack round trip; curves converge as serialisation dominates.
+"""
+
+from __future__ import annotations
+
+from ...util.fmt import format_size
+from ..microbench import (
+    pingpong_mpi,
+    pingpong_mpi_rma,
+    pingpong_photon,
+)
+from ..result import ExperimentResult
+
+SIZES_QUICK = [8, 64, 512, 4096]
+SIZES_FULL = [8, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192]
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    sizes = SIZES_QUICK if quick else SIZES_FULL
+    reps = 10 if quick else 50
+    rows = []
+    series = {}
+    for size in sizes:
+        pwc = pingpong_photon(size, reps=reps, mode="pwc").mean_us
+        snd = pingpong_photon(size, reps=reps, mode="send").mean_us
+        put = pingpong_photon(size, reps=reps, mode="put").mean_us
+        mpi = pingpong_mpi(size, reps=reps).mean_us
+        rma = pingpong_mpi_rma(size, reps=reps).mean_us
+        series[size] = (pwc, snd, put, mpi, rma)
+        rows.append([format_size(size), pwc, snd, put, mpi, rma])
+
+    small = [s for s in sizes if s <= 512]
+    checks = {
+        "photon PWC beats MPI send/recv at small sizes":
+            all(series[s][0] < series[s][3] for s in small),
+        "photon eager send beats MPI send/recv at small sizes":
+            all(series[s][1] < series[s][3] for s in small),
+        "MPI RMA put+flush is the slowest small-message option":
+            all(series[s][4] >= max(series[s][0], series[s][1])
+                for s in small),
+        "latency grows with size for every transport":
+            all(series[sizes[-1]][k] > series[sizes[0]][k]
+                for k in range(5)),
+    }
+    return ExperimentResult(
+        exp_id="R1",
+        title="small-message half-round-trip latency (us), ib-fdr",
+        headers=["size", "pwc", "pwc-send", "os_put(origin)",
+                 "mpi send/recv", "mpi rma put+flush"],
+        rows=rows,
+        checks=checks,
+        notes=("os_put and RMA columns are origin-observed full completion "
+               "times (include the ack round trip); the others are "
+               "half-round-trip echoes."))

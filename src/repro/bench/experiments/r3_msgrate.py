@@ -1,0 +1,46 @@
+"""R3 — small-message rate (reconstruction of the message-rate figure).
+
+Sustained receiver-observed message rate for back-to-back small messages:
+Photon eager PWC sends vs minimpi isend/irecv windows.
+
+Expected shape: Photon sustains a substantially higher rate — delivery is
+one ledger write discovered by a memory scan, versus per-message matching,
+bounce-buffer copies and request churn on the MPI path.
+"""
+
+from __future__ import annotations
+
+from ...util.fmt import format_size
+from ..microbench import msgrate_mpi, msgrate_photon
+from ..result import ExperimentResult
+
+SIZES_QUICK = [8, 64]
+SIZES_FULL = [8, 16, 64, 256, 1024]
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    sizes = SIZES_QUICK if quick else SIZES_FULL
+    count = 300 if quick else 1000
+    rows = []
+    series = {}
+    for size in sizes:
+        rph = msgrate_photon(size, count=count) / 1e6
+        rmp = msgrate_mpi(size, count=count) / 1e6
+        series[size] = (rph, rmp)
+        rows.append([format_size(size), rph, rmp, rph / rmp])
+
+    checks = {
+        "photon message rate exceeds MPI at every size":
+            all(series[s][0] > series[s][1] for s in sizes),
+        "photon advantage is at least 1.2x for the smallest messages":
+            series[sizes[0]][0] / series[sizes[0]][1] >= 1.2,
+        "rates do not increase with size":
+            all(series[a][0] >= series[b][0] * 0.98
+                for a, b in zip(sizes, sizes[1:])),
+    }
+    return ExperimentResult(
+        exp_id="R3",
+        title="small-message rate (Mmsgs/s), receiver-observed, ib-fdr",
+        headers=["size", "photon", "mpi", "ratio"],
+        rows=rows,
+        checks=checks)

@@ -1,0 +1,92 @@
+"""R6 — registration-cost table (pin cost and the registration cache).
+
+Mean put latency over a working set of distinct buffers, three ways:
+
+- *uncached*: registration cache disabled — every operation pins and
+  unpins (the naive baseline);
+- *cold*: cache enabled, first pass over the working set — every buffer
+  misses once;
+- *warm*: second pass over the same buffers — pure hits.
+
+Expected shape: warm ≈ raw put latency; cold adds the pin cost once per
+buffer; uncached pays pin+unpin on every single operation.  This is the
+cost Photon's buffer API amortises for runtimes.
+"""
+
+from __future__ import annotations
+
+from ...cluster import build_cluster
+from ...photon import PhotonConfig, photon_init
+from ..result import ExperimentResult
+
+SIZE = 16384  # 4 pages per buffer
+
+
+def _put_pass(ep, bufs, dst_buf, passes: int):
+    """Average per-put time over `passes` passes of the working set."""
+    env = ep.env
+    times = []
+    for _ in range(passes):
+        t0 = env.now
+        for addr in bufs:
+            rid = yield from ep.post_os_put(1, addr, SIZE, dst_buf.addr,
+                                            dst_buf.rkey)
+            yield from ep.wait(rid, timeout_ns=10 ** 12)
+            ep.free_request(rid)
+        times.append((env.now - t0) / len(bufs))
+    return times
+
+
+def _measure(n_buffers: int, enabled: bool):
+    cfg = PhotonConfig(rcache_enabled=enabled,
+                       rcache_capacity=max(n_buffers * 2, 16))
+    cl = build_cluster(2, params="ib-fdr")
+    ph = photon_init(cl, cfg)
+    # working set of *unregistered* buffers (plain allocations)
+    bufs = [cl[0].memory.alloc(SIZE, align=4096) for _ in range(n_buffers)]
+    dst = ph[1].buffer(SIZE)
+    out = {}
+
+    def prog(env):
+        times = yield from _put_pass(ph[0], bufs, dst, passes=2)
+        out["cold"], out["warm"] = times[0], times[1]
+
+    p = cl.env.process(prog(cl.env))
+    cl.env.run(until=p)
+    out["hits"] = ph[0].rcache.hits
+    out["misses"] = ph[0].rcache.misses
+    return out
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    n_buffers = 8 if quick else 32
+    cached = _measure(n_buffers, enabled=True)
+    uncached = _measure(n_buffers, enabled=False)
+    rows = [
+        ["uncached (pin every op)", uncached["cold"] / 1000,
+         uncached["warm"] / 1000, uncached["hits"], uncached["misses"]],
+        ["rcache cold pass", cached["cold"] / 1000, "-",
+         "-", "-"],
+        ["rcache warm pass", "-", cached["warm"] / 1000,
+         cached["hits"], cached["misses"]],
+    ]
+    checks = {
+        "warm (cached) puts are faster than cold puts":
+            cached["warm"] < cached["cold"],
+        "warm cached puts beat the uncached baseline":
+            cached["warm"] < uncached["warm"],
+        "cache hit count equals the second-pass put count":
+            cached["hits"] == n_buffers,
+        "uncached mode never hits":
+            uncached["hits"] == 0,
+        "pin cost dominates the cold/warm gap (>= 1.3x)":
+            cached["cold"] >= 1.3 * cached["warm"],
+    }
+    return ExperimentResult(
+        exp_id="R6",
+        title=f"registration cache: mean 16KiB put latency (us), "
+              f"{n_buffers}-buffer working set",
+        headers=["configuration", "pass 1 (cold)", "pass 2 (warm)",
+                 "hits", "misses"],
+        rows=rows,
+        checks=checks)

@@ -1,0 +1,85 @@
+"""R8 — runtime parcel rate (reconstruction of the runtime figure).
+
+The parcel runtime floods parcels from rank 0 to rank 1 over the
+Photon-PWC transport vs the MPI-ISIR transport; the metric is the
+receiver-observed parcels/second by payload size.
+
+Expected shape: the PWC transport sustains a higher parcel rate at small
+and medium payloads (eager ledger delivery with probe dispatch vs
+wildcard-irecv matching with bounce copies), converging as payloads grow
+bandwidth-bound.
+"""
+
+from __future__ import annotations
+
+from ...cluster import build_cluster
+from ...minimpi import mpi_init
+from ...photon import photon_init
+from ...runtime import ActionRegistry, build_runtime
+from ...sim.core import SimulationError
+from ...util.fmt import format_size
+from ..result import ExperimentResult
+
+SIZES_QUICK = [64, 1024]
+SIZES_FULL = [16, 64, 256, 1024, 4096, 16384]
+
+
+def _flood(transport: str, size: int, count: int) -> float:
+    cl = build_cluster(2, params="ib-fdr")
+    registry = ActionRegistry()
+    if transport == "photon":
+        ph = photon_init(cl)
+        rts = build_runtime(cl, registry, "photon", photon=ph,
+                            max_parcel=1 << 20)
+    else:
+        comms = mpi_init(cl)
+        rts = build_runtime(cl, registry, "mpi", comms=comms,
+                            max_parcel=1 << 20)
+    registry.register("work", lambda rt, src, data: None)
+    payload = bytes(size)
+    out = {}
+
+    def sender(env):
+        for _ in range(count):
+            yield from rts[0].send(1, "work", payload)
+
+    def receiver(env):
+        ok = yield from rts[1].process_n(1, timeout_ns=10 ** 12)
+        t0 = env.now
+        ok = yield from rts[1].process_n(count - 1, timeout_ns=10 ** 12)
+        if not ok:
+            raise SimulationError("parcel flood stalled")
+        out["elapsed"] = env.now - t0
+
+    p0 = cl.env.process(sender(cl.env))
+    p1 = cl.env.process(receiver(cl.env))
+    cl.env.run(until=cl.env.all_of([p0, p1]))
+    return (count - 1) / (out["elapsed"] / 1e9)
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    sizes = SIZES_QUICK if quick else SIZES_FULL
+    count = 200 if quick else 500
+    rows = []
+    series = {}
+    for size in sizes:
+        rph = _flood("photon", size, count) / 1e6
+        rmp = _flood("mpi", size, count) / 1e6
+        series[size] = (rph, rmp)
+        rows.append([format_size(size), rph, rmp, rph / rmp])
+
+    checks = {
+        "photon transport sustains a higher parcel rate at every size":
+            all(series[s][0] > series[s][1] for s in sizes),
+        "the gap is largest for the smallest parcels":
+            (series[sizes[0]][0] / series[sizes[0]][1])
+            >= (series[sizes[-1]][0] / series[sizes[-1]][1]) * 0.95,
+        "photon small-parcel rate is at least 1.2x MPI":
+            series[sizes[0]][0] / series[sizes[0]][1] >= 1.2,
+    }
+    return ExperimentResult(
+        exp_id="R8",
+        title=f"runtime parcel rate (Mparcels/s), {count}-parcel flood",
+        headers=["payload", "photon-pwc", "mpi-isir", "ratio"],
+        rows=rows,
+        checks=checks)

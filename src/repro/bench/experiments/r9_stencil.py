@@ -1,0 +1,82 @@
+"""R9 — application: 2-D Jacobi weak scaling (reconstruction).
+
+Fixed rows-per-rank weak scaling of the halo-exchange stencil, Photon
+(one-sided halo puts with completion ids) vs minimpi (sendrecv).  Both
+variants verify bit-identically against the sequential reference inside
+the experiment.
+
+Expected shape: Photon's per-iteration time is lower (halo rows land
+without matching or rendezvous) and its communication fraction smaller;
+both grow with rank count as the halo chain deepens.
+"""
+
+from __future__ import annotations
+
+from ...apps import (
+    assemble,
+    initial_grid,
+    reference_jacobi,
+    run_stencil_mpi,
+    run_stencil_photon,
+)
+from ...cluster import build_cluster
+from ...minimpi import mpi_init
+from ...photon import photon_init
+from ..result import ExperimentResult
+
+import numpy as np
+
+RANKS_QUICK = [2, 4]
+RANKS_FULL = [2, 4, 8]
+ROWS_PER_RANK = 16
+COLS = 64
+ITERS = 8
+
+
+def _once(transport: str, n: int):
+    rows = ROWS_PER_RANK * n
+    cl = build_cluster(n, params="ib-fdr")
+    if transport == "photon":
+        ph = photon_init(cl)
+        programs, results = run_stencil_photon(cl, ph, rows, COLS, ITERS)
+    else:
+        comms = mpi_init(cl)
+        programs, results = run_stencil_mpi(cl, comms, rows, COLS, ITERS)
+    procs = [cl.env.process(p) for p in programs]
+    cl.env.run(until=cl.env.all_of(procs))
+    got = assemble(results, rows, COLS, n)
+    want = reference_jacobi(initial_grid(rows, COLS), ITERS)
+    correct = bool(np.array_equal(got, want))
+    elapsed = max(r.elapsed_ns for r in results)
+    comm = max(r.comm_ns for r in results)
+    return elapsed / ITERS, comm / max(r.elapsed_ns for r in results), correct
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    ranks = RANKS_QUICK if quick else RANKS_FULL
+    rows = []
+    series = {}
+    ok = True
+    for n in ranks:
+        per_ph, frac_ph, ok1 = _once("photon", n)
+        per_mp, frac_mp, ok2 = _once("mpi", n)
+        ok = ok and ok1 and ok2
+        series[n] = (per_ph, per_mp, frac_ph, frac_mp)
+        rows.append([n, per_ph / 1000, per_mp / 1000, per_mp / per_ph,
+                     100 * frac_ph, 100 * frac_mp])
+
+    checks = {
+        "both variants verify against the sequential reference": ok,
+        "photon per-iteration time beats MPI at every scale":
+            all(series[n][0] < series[n][1] for n in ranks),
+        "photon communication fraction is lower than MPI's":
+            all(series[n][2] < series[n][3] for n in ranks),
+    }
+    return ExperimentResult(
+        exp_id="R9",
+        title=f"2-D Jacobi weak scaling ({ROWS_PER_RANK} rows/rank x "
+              f"{COLS} cols, {ITERS} iters)",
+        headers=["ranks", "photon us/iter", "mpi us/iter", "speedup",
+                 "photon comm %", "mpi comm %"],
+        rows=rows,
+        checks=checks)

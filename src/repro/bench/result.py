@@ -1,0 +1,64 @@
+"""Experiment result container: table + shape checks.
+
+Every reconstructed experiment returns one of these; the benchmark suite
+asserts the checks and the CLI renders the tables into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from ..util.fmt import format_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment (one table/figure of the paper)."""
+
+    exp_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]]
+    #: named shape assertions ("who wins / where the crossover falls")
+    checks: Dict[str, bool] = field(default_factory=dict)
+    notes: str = ""
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())
+
+    def failed_checks(self) -> List[str]:
+        return [name for name, ok in self.checks.items() if not ok]
+
+    def render(self) -> str:
+        out = [format_table(self.headers, self.rows,
+                            title=f"[{self.exp_id}] {self.title}")]
+        if self.notes:
+            out.append(f"note: {self.notes}")
+        for name, ok in self.checks.items():
+            out.append(f"  check {'PASS' if ok else 'FAIL'}: {name}")
+        return "\n".join(out)
+
+    def to_markdown(self) -> str:
+        lines = [f"### {self.exp_id} — {self.title}", ""]
+        lines.append("| " + " | ".join(str(h) for h in self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            cells = []
+            for x in row:
+                if isinstance(x, float):
+                    cells.append(f"{x:.3f}" if abs(x) < 1000 else f"{x:.0f}")
+                else:
+                    cells.append(str(x))
+            lines.append("| " + " | ".join(cells) + " |")
+        lines.append("")
+        if self.notes:
+            lines.append(f"*{self.notes}*")
+            lines.append("")
+        for name, ok in self.checks.items():
+            lines.append(f"- {'✅' if ok else '❌'} {name}")
+        lines.append("")
+        return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Simulated RDMA fabric: parameters, memory, links, topologies, NICs."""
+
+from .link import Chunk, Link
+from .memory import Memory, MemoryError_, OutOfMemory
+from .nic import CTRL_BYTES, Nic, WireMsg
+from .params import (
+    ETH_10G,
+    GEMINI,
+    IB_EDR,
+    IB_FDR,
+    PRESETS,
+    ROCE,
+    FabricParams,
+    HostParams,
+    LinkParams,
+    NicParams,
+    preset,
+)
+from .topology import Star, Topology, Torus2D, make_topology
+
+__all__ = [
+    "Chunk", "Link",
+    "Memory", "MemoryError_", "OutOfMemory",
+    "CTRL_BYTES", "Nic", "WireMsg",
+    "ETH_10G", "GEMINI", "IB_EDR", "IB_FDR", "PRESETS", "ROCE",
+    "FabricParams", "HostParams", "LinkParams", "NicParams", "preset",
+    "Star", "Topology", "Torus2D", "make_topology",
+]

@@ -1,0 +1,108 @@
+"""Directed links and the chunk pipeline.
+
+A :class:`Link` is a directed pipe with finite bandwidth, fixed latency and
+a small input queue.  Messages are segmented by the NIC into :class:`Chunk`
+objects (≈ MTU-sized packets); each link runs a server process that
+serialises chunks at link bandwidth and forwards them after the propagation
+latency.  Because every link buffers and serialises independently, chunks
+pipeline across multi-hop paths (cut-through behaviour) and contention on a
+shared hop (e.g. the destination's downlink during an incast) emerges
+naturally from queueing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..sim.core import Environment
+from ..sim.resources import Store
+from ..sim.trace import Counters
+from ..util.units import serialization_ns
+from .params import LinkParams
+
+__all__ = ["Chunk", "Link"]
+
+
+class Chunk:
+    """One packet of a wire message traversing a path of links."""
+
+    __slots__ = ("msg", "offset", "size", "wire_bytes", "is_first", "is_last",
+                 "path", "hop", "data")
+
+    def __init__(self, msg, offset: int, size: int, wire_bytes: int,
+                 is_first: bool, is_last: bool, path: List["Link"]):
+        self.msg = msg
+        self.offset = offset
+        self.size = size
+        self.wire_bytes = wire_bytes
+        self.is_first = is_first
+        self.is_last = is_last
+        self.path = path
+        self.hop = 0
+        #: actual payload bytes (filled by the sender's DMA fetch)
+        self.data: bytes = b""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Chunk off={self.offset} size={self.size} "
+                f"hop={self.hop}/{len(self.path)}>")
+
+
+class Link:
+    """One directed link with its own serialisation server.
+
+    ``deliver`` on the last hop hands the chunk to the destination NIC's
+    ingress handler (set via :meth:`Link.__init__`'s sink or chunk path
+    construction by the topology).
+    """
+
+    def __init__(self, env: Environment, params: LinkParams, name: str,
+                 counters: Optional[Counters] = None, queue_depth: int = 16,
+                 extra_latency_ns: int = 0, rng=None):
+        self.env = env
+        self.params = params
+        self.name = name
+        self.counters = counters or Counters()
+        self.latency_ns = params.latency_ns + extra_latency_ns
+        #: deterministic fault stream (set by the topology when the link
+        #: parameters specify a non-zero drop_rate)
+        self.rng = rng
+        self.inbox: Store = Store(env, capacity=queue_depth)
+        #: called with the chunk when it exits this link *and* this link is
+        #: the last hop of the chunk's path; set by the topology.
+        self.sink: Optional[Callable[[Chunk], None]] = None
+        self._busy_ns = 0
+        env.process(self._server(), name=f"link:{name}")
+
+    def occupancy_ns(self) -> int:
+        """Total time this link spent serialising (utilisation numerator)."""
+        return self._busy_ns
+
+    def _server(self):
+        env = self.env
+        while True:
+            chunk: Chunk = yield self.inbox.get()
+            ser = serialization_ns(chunk.wire_bytes, self.params.bandwidth_gbps)
+            # fault injection: a dropped chunk costs the recovery timeout
+            # plus a fresh serialisation before it finally goes through
+            if (self.params.drop_rate > 0.0 and self.rng is not None):
+                while self.rng.random() < self.params.drop_rate:
+                    self.counters.add("link.drops")
+                    self._busy_ns += ser
+                    yield env.timeout(ser + self.params.retransmit_ns)
+            self._busy_ns += ser
+            self.counters.add("link.chunks")
+            self.counters.add("link.bytes", chunk.wire_bytes)
+            yield env.timeout(ser)
+            # Propagation overlaps with serialising the next chunk.
+            env.process(self._propagate(chunk), name=f"prop:{self.name}")
+
+    def _propagate(self, chunk: Chunk):
+        yield self.env.timeout(self.latency_ns)
+        chunk.hop += 1
+        if chunk.hop < len(chunk.path):
+            nxt = chunk.path[chunk.hop]
+            yield nxt.inbox.put(chunk)
+        else:
+            if self.sink is None:
+                raise RuntimeError(f"link {self.name}: no sink at end of path")
+            self.sink(chunk)

@@ -1,0 +1,120 @@
+"""Per-rank host memory with a pinning (registration) cost model.
+
+Memory is a real ``bytearray``: every simulated RDMA operation moves real
+bytes, so tests can assert payload integrity end-to-end.  Addresses are
+byte offsets into the rank's flat space, handed out by a bump allocator.
+
+Registration ("pinning") mirrors the cost structure of ``ibv_reg_mr``: a
+fixed syscall cost plus a per-page cost.  The Memory object only *computes*
+costs; callers (verbs layer, registration cache) charge them on the event
+loop so the accounting lives where the time is spent.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Set
+
+from ..sim.core import SimulationError
+from .params import HostParams
+
+__all__ = ["Memory", "MemoryError_", "OutOfMemory"]
+
+
+class MemoryError_(SimulationError):
+    """Bad address/range passed to a memory operation."""
+
+
+class OutOfMemory(SimulationError):
+    """The bump allocator ran out of simulated memory."""
+
+
+class Memory:
+    """Flat byte-addressable memory for one simulated rank."""
+
+    def __init__(self, size: int, host: HostParams, rank: int = -1):
+        if size <= 0:
+            raise MemoryError_("memory size must be positive")
+        self.size = size
+        self.host = host
+        self.rank = rank
+        self.data = bytearray(size)
+        self._brk = 0
+        self._pinned_pages: Set[int] = set()
+
+    # -- allocation ----------------------------------------------------------
+    def alloc(self, size: int, align: int = 8) -> int:
+        """Reserve ``size`` bytes; returns the base address."""
+        if size <= 0:
+            raise MemoryError_(f"alloc of non-positive size {size}")
+        if align <= 0 or (align & (align - 1)) != 0:
+            raise MemoryError_(f"alignment {align} is not a power of two")
+        base = (self._brk + align - 1) & ~(align - 1)
+        if base + size > self.size:
+            raise OutOfMemory(
+                f"rank {self.rank}: alloc({size}) exceeds {self.size}-byte heap")
+        self._brk = base + size
+        return base
+
+    @property
+    def bytes_allocated(self) -> int:
+        return self._brk
+
+    # -- access ---------------------------------------------------------------
+    def _check(self, addr: int, length: int) -> None:
+        if length < 0:
+            raise MemoryError_(f"negative length {length}")
+        if addr < 0 or addr + length > self.size:
+            raise MemoryError_(
+                f"rank {self.rank}: access [{addr}, {addr + length}) outside "
+                f"[0, {self.size})")
+
+    def read(self, addr: int, length: int) -> bytes:
+        self._check(addr, length)
+        return bytes(self.data[addr:addr + length])
+
+    def write(self, addr: int, payload: bytes) -> None:
+        self._check(addr, len(payload))
+        self.data[addr:addr + len(payload)] = payload
+
+    def read_u64(self, addr: int) -> int:
+        return int.from_bytes(self.read(addr, 8), "little")
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self.write(addr, int(value & (2 ** 64 - 1)).to_bytes(8, "little"))
+
+    # -- pinning cost model -----------------------------------------------------
+    def _page_range(self, addr: int, length: int) -> range:
+        page = self.host.page_size
+        first = addr // page
+        last = (addr + max(length, 1) - 1) // page
+        return range(first, last + 1)
+
+    def pages_spanned(self, addr: int, length: int) -> int:
+        return len(self._page_range(addr, length))
+
+    def pin_cost_ns(self, addr: int, length: int) -> int:
+        """Cost to register [addr, addr+length): base + per *new* page."""
+        self._check(addr, length)
+        new_pages = sum(1 for p in self._page_range(addr, length)
+                        if p not in self._pinned_pages)
+        return self.host.reg_base_ns + self.host.reg_per_page_ns * new_pages
+
+    def pin(self, addr: int, length: int) -> None:
+        """Mark the pages of [addr, addr+length) pinned (cost charged by caller)."""
+        self._check(addr, length)
+        self._pinned_pages.update(self._page_range(addr, length))
+
+    def unpin(self, addr: int, length: int) -> None:
+        self._check(addr, length)
+        self._pinned_pages.difference_update(self._page_range(addr, length))
+
+    @property
+    def pinned_pages(self) -> int:
+        return len(self._pinned_pages)
+
+    def memcpy_cost_ns(self, length: int) -> int:
+        """Host-to-host copy cost for ``length`` bytes."""
+        if length <= 0:
+            return 0
+        return max(1, math.ceil(length * 8.0 / self.host.memcpy_gbps))

@@ -1,0 +1,22 @@
+"""minimpi: the from-scratch two-sided MPI comparator.
+
+Implements the standard MPI transport design (eager bounce-buffer copies,
+RTS/RGET/FIN rendezvous, tag matching with wildcards and an unexpected
+queue) on the *same* verbs substrate Photon runs on, plus collectives and
+MPI-3-style RMA windows.  See DESIGN.md §2 for why this is the right
+baseline shape.
+"""
+
+from .comm import Comm, mpi_init
+from .matching import MatchEngine, PostedRecv, UnexpectedMsg
+from .protocol import Engine, MPIRequest
+from .rma import Win, win_allocate
+from .status import ANY_SOURCE, ANY_TAG, DEFAULT_MPI_CONFIG, MPIConfig, Status
+
+__all__ = [
+    "Comm", "mpi_init",
+    "MatchEngine", "PostedRecv", "UnexpectedMsg",
+    "Engine", "MPIRequest",
+    "Win", "win_allocate",
+    "ANY_SOURCE", "ANY_TAG", "DEFAULT_MPI_CONFIG", "MPIConfig", "Status",
+]

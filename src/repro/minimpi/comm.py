@@ -1,0 +1,360 @@
+"""Communicator: the user-facing minimpi API and collectives.
+
+Address-based point-to-point (buffers live in simulated memory, as with
+the verbs layer underneath) plus numpy-typed collectives that stage
+through a per-rank scratch heap.  Collectives use a reserved tag space
+keyed by an epoch counter, so SPMD programs must call them in the same
+order on every rank.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..cluster import Cluster
+from ..sim.core import SimulationError
+from .protocol import Engine, MPIRequest
+from .status import ANY_SOURCE, ANY_TAG, DEFAULT_MPI_CONFIG, MPIConfig, Status
+
+__all__ = ["Comm", "mpi_init"]
+
+_COLL_TAG_BASE = 1 << 40
+_REDUCE_OPS = {
+    "sum": np.add,
+    "min": np.minimum,
+    "max": np.maximum,
+    "prod": np.multiply,
+}
+
+
+class _Scratch:
+    """Ring allocator for collective staging buffers."""
+
+    def __init__(self, memory, size: int):
+        self.base = memory.alloc(size, align=64)
+        self.size = size
+        self.cursor = 0
+
+    def take(self, nbytes: int) -> int:
+        if nbytes > self.size // 2:
+            raise SimulationError(
+                f"collective payload {nbytes}B exceeds scratch capacity "
+                f"{self.size // 2}B; raise MPIConfig.coll_scratch")
+        if self.cursor + nbytes > self.size:
+            self.cursor = 0
+        addr = self.base + self.cursor
+        self.cursor += (nbytes + 63) & ~63
+        return addr
+
+
+class Comm:
+    """MPI_COMM_WORLD-like communicator for one rank."""
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self.rank = engine.rank
+        self.size = engine.cluster.n
+        self.env = engine.env
+        self.memory = engine.memory
+        self._scratch = _Scratch(engine.memory, engine.config.coll_scratch)
+        self._epoch = 0
+
+    # ------------------------------------------------------------- p2p
+    def isend(self, addr: int, size: int, dst: int, tag: int = 0):
+        """Non-blocking send (generator → MPIRequest)."""
+        req = yield from self.engine.isend(addr, size, dst, tag)
+        return req
+
+    def irecv(self, addr: int, length: int, src: int = ANY_SOURCE,
+              tag: int = ANY_TAG):
+        """Non-blocking receive (generator → MPIRequest)."""
+        req = yield from self.engine.irecv(addr, length, src, tag)
+        return req
+
+    def send(self, addr: int, size: int, dst: int, tag: int = 0):
+        """Blocking send (generator)."""
+        req = yield from self.engine.isend(addr, size, dst, tag)
+        yield from self.engine.wait(req)
+
+    def recv(self, addr: int, length: int, src: int = ANY_SOURCE,
+             tag: int = ANY_TAG):
+        """Blocking receive (generator → Status)."""
+        req = yield from self.engine.irecv(addr, length, src, tag)
+        yield from self.engine.wait(req)
+        return req.status
+
+    def sendrecv(self, saddr: int, ssize: int, dst: int, stag: int,
+                 raddr: int, rlength: int, src: int = ANY_SOURCE,
+                 rtag: int = ANY_TAG):
+        """Simultaneous send+receive (generator → Status of the receive)."""
+        rreq = yield from self.engine.irecv(raddr, rlength, src, rtag)
+        sreq = yield from self.engine.isend(saddr, ssize, dst, stag)
+        yield from self.engine.waitall([sreq, rreq])
+        return rreq.status
+
+    def wait(self, req: MPIRequest, timeout_ns: Optional[int] = None):
+        ok = yield from self.engine.wait(req, timeout_ns)
+        return ok
+
+    def waitall(self, reqs: List[MPIRequest],
+                timeout_ns: Optional[int] = None):
+        ok = yield from self.engine.waitall(reqs, timeout_ns)
+        return ok
+
+    def probe(self, src: int = ANY_SOURCE, tag: int = ANY_TAG,
+              timeout_ns: Optional[int] = None):
+        st = yield from self.engine.probe(src, tag, timeout_ns)
+        return st
+
+    def iprobe(self, src: int = ANY_SOURCE, tag: int = ANY_TAG):
+        st = yield from self.engine.iprobe(src, tag)
+        return st
+
+    # ------------------------------------------------------------- staging
+    def _send_bytes(self, dst: int, data: bytes, tag: int):
+        """Stage + blocking-send a bytes payload (generator)."""
+        addr = self._scratch.take(max(len(data), 1))
+        self.memory.write(addr, data)
+        yield self.env.timeout(self.memory.memcpy_cost_ns(len(data)))
+        yield from self.send(addr, len(data), dst, tag)
+
+    def _isend_bytes(self, dst: int, data: bytes, tag: int):
+        addr = self._scratch.take(max(len(data), 1))
+        self.memory.write(addr, data)
+        yield self.env.timeout(self.memory.memcpy_cost_ns(len(data)))
+        req = yield from self.isend(addr, len(data), dst, tag)
+        return req
+
+    def _recv_bytes(self, src: int, max_bytes: int, tag: int):
+        """Blocking receive into scratch; returns the payload (generator)."""
+        addr = self._scratch.take(max(max_bytes, 1))
+        status = yield from self.recv(addr, max_bytes, src, tag)
+        return self.memory.read(addr, status.count)
+
+    def _coll_tag(self, step: int) -> int:
+        return _COLL_TAG_BASE + self._epoch * 4096 + step
+
+    # ------------------------------------------------------------- collectives
+    def barrier(self):
+        """Dissemination barrier (generator)."""
+        n = self.size
+        self._epoch += 1
+        if n == 1:
+            return
+        step = 0
+        dist = 1
+        while dist < n:
+            dst = (self.rank + dist) % n
+            src = (self.rank - dist) % n
+            tag = self._coll_tag(step)
+            sreq = yield from self._isend_bytes(dst, b"", tag)
+            data = yield from self._recv_bytes(src, 8, tag)
+            yield from self.engine.wait(sreq)
+            dist <<= 1
+            step += 1
+        self.engine.counters.add("mpi.barriers")
+
+    def bcast(self, array: np.ndarray, root: int = 0):
+        """Binomial-tree broadcast; returns the array (generator)."""
+        n = self.size
+        self._epoch += 1
+        if n == 1:
+            return array.copy()
+        vrank = (self.rank - root) % n
+        data = array.tobytes() if vrank == 0 else None
+        mask = 1
+        # find the sender for this vrank
+        while mask < n:
+            if vrank & mask:
+                src = (self.rank - mask) % n
+                raw = yield from self._recv_bytes(src, array.nbytes,
+                                                  self._coll_tag(0))
+                data = raw
+                break
+            mask <<= 1
+        if vrank == 0:
+            mask = 1
+            while mask < n:
+                mask <<= 1
+            mask >>= 1
+        else:
+            mask >>= 1
+        while mask:
+            if vrank + mask < n and not (vrank & (mask - 1)):
+                dst = (self.rank + mask) % n
+                yield from self._send_bytes(dst, data, self._coll_tag(0))
+            mask >>= 1
+        out = np.frombuffer(data, dtype=array.dtype).reshape(array.shape)
+        return out.copy()
+
+    def allreduce(self, array: np.ndarray, op: str = "sum"):
+        """Recursive-doubling allreduce (generator → reduced array)."""
+        if op not in _REDUCE_OPS:
+            raise SimulationError(f"unknown reduce op {op!r}")
+        n = self.size
+        self._epoch += 1
+        if n == 1:
+            return array.copy()
+        data = np.array(array, copy=True)
+        fn = _REDUCE_OPS[op]
+        pof2 = 1
+        while pof2 * 2 <= n:
+            pof2 *= 2
+        rem = n - pof2
+        rank = self.rank
+        step = 0
+        if rank >= pof2:
+            yield from self._send_bytes(rank - pof2, data.tobytes(),
+                                        self._coll_tag(step))
+        elif rank < rem:
+            raw = yield from self._recv_bytes(rank + pof2, data.nbytes,
+                                              self._coll_tag(step))
+            data = fn(data, np.frombuffer(raw, dtype=data.dtype).reshape(
+                data.shape))
+            yield self.env.timeout(self.memory.memcpy_cost_ns(data.nbytes))
+        step += 1
+        if rank < pof2:
+            dist = 1
+            while dist < pof2:
+                partner = rank ^ dist
+                tag = self._coll_tag(step)
+                sreq = yield from self._isend_bytes(partner, data.tobytes(),
+                                                    tag)
+                raw = yield from self._recv_bytes(partner, data.nbytes, tag)
+                yield from self.engine.wait(sreq)
+                data = fn(data, np.frombuffer(raw, dtype=data.dtype).reshape(
+                    data.shape))
+                yield self.env.timeout(
+                    self.memory.memcpy_cost_ns(data.nbytes))
+                dist <<= 1
+                step += 1
+        else:
+            step += pof2.bit_length() - 1
+        if rank < rem:
+            yield from self._send_bytes(rank + pof2, data.tobytes(),
+                                        self._coll_tag(step))
+        elif rank >= pof2:
+            raw = yield from self._recv_bytes(rank - pof2, data.nbytes,
+                                              self._coll_tag(step))
+            data = np.frombuffer(raw, dtype=data.dtype).reshape(
+                data.shape).copy()
+        self.engine.counters.add("mpi.allreduces")
+        return data
+
+    def reduce(self, array: np.ndarray, op: str = "sum", root: int = 0):
+        """Allreduce-based reduce (generator; non-roots get None)."""
+        out = yield from self.allreduce(array, op)
+        return out if self.rank == root else None
+
+    def allgather(self, data: bytes):
+        """Ring allgather of equal-size blobs (generator → list by rank)."""
+        n = self.size
+        self._epoch += 1
+        out: List[bytes] = [b""] * n
+        out[self.rank] = bytes(data)
+        if n == 1:
+            return out
+        right = (self.rank + 1) % n
+        left = (self.rank - 1) % n
+        for step in range(n - 1):
+            send_idx = (self.rank - step) % n
+            recv_idx = (self.rank - step - 1) % n
+            tag = self._coll_tag(step)
+            sreq = yield from self._isend_bytes(right, out[send_idx], tag)
+            out[recv_idx] = yield from self._recv_bytes(
+                left, max(len(data), 1), tag)
+            yield from self.engine.wait(sreq)
+        return out
+
+    def gather(self, data: bytes, root: int = 0):
+        """Linear gather of equal-size blobs to ``root`` (generator).
+
+        Returns the list by rank at the root, None elsewhere.
+        """
+        n = self.size
+        self._epoch += 1
+        tag = self._coll_tag(0)
+        if self.rank == root:
+            out: List[bytes] = [b""] * n
+            out[root] = bytes(data)
+            for _ in range(n - 1):
+                addr = self._scratch.take(max(len(data), 1) + 8)
+                status = yield from self.recv(addr, max(len(data), 1),
+                                              tag=tag)
+                out[status.source] = self.memory.read(addr, status.count)
+            return out
+        yield from self._send_bytes(root, data, tag)
+        return None
+
+    def scatter(self, blobs: Optional[List[bytes]], root: int = 0):
+        """Linear scatter from ``root`` (generator → this rank's blob)."""
+        n = self.size
+        self._epoch += 1
+        tag = self._coll_tag(0)
+        if self.rank == root:
+            if blobs is None or len(blobs) != n:
+                raise SimulationError("root must scatter one blob per rank")
+            reqs = []
+            for dst in range(n):
+                if dst == root:
+                    continue
+                req = yield from self._isend_bytes(dst, blobs[dst], tag)
+                reqs.append(req)
+            yield from self.engine.waitall(reqs)
+            return bytes(blobs[root])
+        addr = self._scratch.take(1 << 16)
+        status = yield from self.recv(addr, 1 << 16, src=root, tag=tag)
+        return self.memory.read(addr, status.count)
+
+    def alltoall(self, blobs: List[bytes]):
+        """Pairwise-exchange alltoallv (generator → list by source rank).
+
+        Blob sizes may differ; an 8-byte count exchange precedes each
+        payload exchange, as in alltoallv implementations.
+        """
+        n = self.size
+        self._epoch += 1
+        if len(blobs) != n:
+            raise SimulationError("alltoall needs one blob per rank")
+        out: List[bytes] = [b""] * n
+        out[self.rank] = bytes(blobs[self.rank])
+        for step in range(1, n):
+            dst = (self.rank + step) % n
+            src = (self.rank - step) % n
+            tag = self._coll_tag(2 * step)
+            hdr = len(blobs[dst]).to_bytes(8, "little")
+            sreq = yield from self._isend_bytes(dst, hdr, tag)
+            raw = yield from self._recv_bytes(src, 8, tag)
+            incoming = int.from_bytes(raw, "little")
+            yield from self.engine.wait(sreq)
+            tag = self._coll_tag(2 * step + 1)
+            sreq = yield from self._isend_bytes(dst, blobs[dst], tag)
+            out[src] = yield from self._recv_bytes(src, max(incoming, 1),
+                                                   tag)
+            yield from self.engine.wait(sreq)
+        return out
+
+
+def mpi_init(cluster: Cluster,
+             config: Optional[MPIConfig] = None) -> List[Comm]:
+    """Create one communicator per rank over a full QP mesh."""
+    cfg = config or DEFAULT_MPI_CONFIG
+    engines = [Engine(cluster[r], cluster, cfg) for r in range(cluster.n)]
+    for e in engines:
+        e._alloc_bounce()
+    for a in range(cluster.n):
+        for b in range(a + 1, cluster.n):
+            ea, eb = engines[a], engines[b]
+            depth = cfg.eager_credits + cfg.prepost + 64
+            qp_ab = ea.context.create_qp(ea.pd, ea.send_cq, ea.recv_cq,
+                                         max_send_wr=depth,
+                                         max_recv_wr=cfg.prepost + 8)
+            qp_ba = eb.context.create_qp(eb.pd, eb.send_cq, eb.recv_cq,
+                                         max_send_wr=depth,
+                                         max_recv_wr=cfg.prepost + 8)
+            qp_ab.connect(qp_ba)
+            ea._wire_peer(b, qp_ab)
+            eb._wire_peer(a, qp_ba)
+    return [Comm(e) for e in engines]

@@ -1,0 +1,94 @@
+"""Tag matching: posted-receive queue and unexpected-message queue.
+
+MPI matching semantics: a receive (src, tag) — either may be a wildcard —
+matches the earliest arrival from a matching source in arrival order; a
+posted receive is consumed by the earliest matching arrival.  This module
+is pure data structure (no simulation time); the protocol engine charges
+the host costs around it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from .status import ANY_SOURCE, ANY_TAG
+
+__all__ = ["PostedRecv", "UnexpectedMsg", "MatchEngine"]
+
+
+@dataclass
+class PostedRecv:
+    """An irecv waiting for a message."""
+
+    request: Any  # MPIRequest
+    src: int
+    tag: int
+    addr: int
+    length: int
+
+    def matches(self, src: int, tag: int) -> bool:
+        return ((self.src == ANY_SOURCE or self.src == src)
+                and (self.tag == ANY_TAG or self.tag == tag))
+
+
+@dataclass
+class UnexpectedMsg:
+    """An arrival with no matching posted receive (yet)."""
+
+    src: int
+    tag: int
+    #: eager payload (bytes) or None for a rendezvous RTS
+    payload: Optional[bytes]
+    #: RTS fields (set when payload is None)
+    remote_addr: int = 0
+    remote_key: int = 0
+    size: int = 0
+    sreq: int = 0
+
+    @property
+    def is_rts(self) -> bool:
+        return self.payload is None
+
+
+class MatchEngine:
+    """Posted + unexpected queues for one rank."""
+
+    def __init__(self):
+        self.posted: List[PostedRecv] = []
+        self.unexpected: List[UnexpectedMsg] = []
+        self.max_unexpected = 0
+
+    # -- arrivals ---------------------------------------------------------
+    def match_arrival(self, src: int, tag: int) -> Optional[PostedRecv]:
+        """Find+remove the earliest posted receive matching an arrival."""
+        for i, p in enumerate(self.posted):
+            if p.matches(src, tag):
+                del self.posted[i]
+                return p
+        return None
+
+    def add_unexpected(self, msg: UnexpectedMsg) -> None:
+        self.unexpected.append(msg)
+        self.max_unexpected = max(self.max_unexpected, len(self.unexpected))
+
+    # -- receives -----------------------------------------------------------
+    def match_posted(self, src: int, tag: int) -> Optional[UnexpectedMsg]:
+        """Find+remove the earliest unexpected message matching a receive."""
+        for i, m in enumerate(self.unexpected):
+            if ((src == ANY_SOURCE or m.src == src)
+                    and (tag == ANY_TAG or m.tag == tag)):
+                del self.unexpected[i]
+                return m
+        return None
+
+    def peek_unexpected(self, src: int, tag: int) -> Optional[UnexpectedMsg]:
+        """Probe: earliest matching unexpected message, not removed."""
+        for m in self.unexpected:
+            if ((src == ANY_SOURCE or m.src == src)
+                    and (tag == ANY_TAG or m.tag == tag)):
+                return m
+        return None
+
+    def post(self, recv: PostedRecv) -> None:
+        self.posted.append(recv)

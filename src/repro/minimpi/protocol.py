@@ -1,0 +1,402 @@
+"""The minimpi protocol engine: eager + rendezvous over verbs.
+
+This is the two-sided comparator the paper evaluates Photon against.  It
+implements the standard MPI transport design over RC queue pairs:
+
+- **Eager** (size <= threshold): the payload is *copied* into a registered
+  send bounce buffer behind a 48-byte header and SENT; it lands in one of
+  the receiver's preposted bounce buffers, where the progress engine
+  matches it against posted receives and *copies* it out to the user
+  buffer (or to an unexpected-queue allocation).  Two copies that Photon's
+  PWC path does not pay.
+- **Rendezvous** (size > threshold): the sender registers the user buffer
+  (registration cache) and SENDs an RTS carrying (addr, rkey, size); the
+  receiver matches it, registers its landing buffer, RDMA-READs the
+  payload directly, and SENDs back a FIN that completes the sender's
+  request.  One and a half round trips of control traffic that Photon's
+  pre-exposed-buffer put does not pay.
+
+Progress is polling and runs inside blocking calls, exactly like the
+Photon engine, so the two libraries share cost accounting conventions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import struct
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..cluster import Cluster, RankNode
+from ..photon.rcache import RegistrationCache
+from ..sim.core import Environment, SimulationError
+from ..verbs.enums import Access, Opcode
+from ..verbs.qp import QueuePair, RecvWR, SendWR
+from .matching import MatchEngine, PostedRecv, UnexpectedMsg
+from .status import ANY_SOURCE, ANY_TAG, MPIConfig, Status
+
+__all__ = ["Engine", "MPIRequest", "HDR"]
+
+# kind(q) tag(q) size(q) sreq(q) addr(q) rkey(q)
+HDR = struct.Struct("<qqqqqq")
+KIND_EAGER = 1
+KIND_RTS = 2
+KIND_FIN = 3
+
+
+class MPIRequest:
+    """Handle for a non-blocking operation."""
+
+    __slots__ = ("rid", "kind", "done", "status", "t_posted", "t_completed")
+    _ids = itertools.count(1)
+
+    def __init__(self, kind: str, now: int):
+        self.rid = next(MPIRequest._ids)
+        self.kind = kind
+        self.done = False
+        self.status = Status()
+        self.t_posted = now
+        self.t_completed = -1
+
+    def complete(self, now: int) -> None:
+        if self.done:
+            raise SimulationError(f"request {self.rid} completed twice")
+        self.done = True
+        self.t_completed = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done else "pending"
+        return f"<MPIRequest {self.rid} {self.kind} {state}>"
+
+
+@dataclass
+class _PeerChannel:
+    """Per-peer transport state."""
+
+    qp: QueuePair
+    #: free send-bounce slot addresses
+    send_slots: Deque[int] = field(default_factory=deque)
+    #: recv bounce slot address by verbs wr_id
+    recv_slots: Dict[int, int] = field(default_factory=dict)
+
+
+class Engine:
+    """Per-rank minimpi transport engine."""
+
+    def __init__(self, node: RankNode, cluster: Cluster, config: MPIConfig):
+        config.validate()
+        self.node = node
+        self.cluster = cluster
+        self.config = config
+        self.rank = node.rank
+        self.env: Environment = cluster.env
+        self.context = node.context
+        self.memory = node.memory
+        self.counters = cluster.counters
+        self.pd = self.context.alloc_pd()
+        depth = cluster.n * (config.eager_credits + config.prepost) * 2 + 256
+        self.send_cq = self.context.create_cq(capacity=depth)
+        self.recv_cq = self.context.create_cq(capacity=depth)
+        self.rcache = RegistrationCache(
+            self.context, self.pd, capacity=config.rcache_capacity,
+            enabled=config.rcache_enabled)
+        self.matcher = MatchEngine()
+        self.peers: Dict[int, _PeerChannel] = {}
+        self.live_requests: Dict[int, MPIRequest] = {}
+        self._ops: Dict[int, Callable] = {}
+        self._wr_seq = itertools.count(1)
+        self.slot_size = HDR.size + config.eager_threshold
+        self._bounce_mr = None
+        # deferred self-messages (no wire)
+        self._self_queue: Deque[Tuple[int, bytes]] = deque()
+
+    # ------------------------------------------------------------- bootstrap
+    def _alloc_bounce(self) -> None:
+        n_peers = self.cluster.n - 1
+        c = self.config
+        total = n_peers * self.slot_size * (c.eager_credits + c.prepost)
+        base = self.memory.alloc(max(total, 8), align=64)
+        self._bounce_mr = self.context.reg_mr_sync(
+            self.pd, base, max(total, 8), Access.ALL)
+        self._bounce_cursor = base
+
+    def _wire_peer(self, peer_rank: int, qp: QueuePair) -> None:
+        c = self.config
+        ch = _PeerChannel(qp=qp)
+        for _ in range(c.eager_credits):
+            ch.send_slots.append(self._bounce_cursor)
+            self._bounce_cursor += self.slot_size
+        for _ in range(c.prepost):
+            wr_id = next(self._wr_seq)
+            addr = self._bounce_cursor
+            self._bounce_cursor += self.slot_size
+            ch.recv_slots[wr_id] = addr
+            qp.post_recv(RecvWR(wr_id=wr_id, addr=addr,
+                                length=self.slot_size))
+        self.peers[peer_rank] = ch
+
+    def _peer(self, rank: int) -> _PeerChannel:
+        ch = self.peers.get(rank)
+        if ch is None:
+            raise SimulationError(f"rank {self.rank}: unknown peer {rank}")
+        return ch
+
+    # ------------------------------------------------------------- send side
+    def isend(self, addr: int, size: int, dst: int, tag: int):
+        """Non-blocking send from simulated memory (generator → request)."""
+        if size < 0 or tag < 0:
+            raise SimulationError("isend needs size >= 0 and tag >= 0")
+        req = MPIRequest("send", self.env.now)
+        self.live_requests[req.rid] = req
+        self.counters.add("mpi.isends")
+        yield self.env.timeout(self.config.sw_overhead_ns)
+        if dst == self.rank:
+            payload = self.memory.read(addr, size)
+            yield self.env.timeout(self.memory.memcpy_cost_ns(size))
+            yield from self._deliver_local(self.rank, tag, payload)
+            req.complete(self.env.now)
+            return req
+        if size <= self.config.eager_threshold:
+            yield from self._send_eager(req, addr, size, dst, tag)
+        else:
+            yield from self._send_rts(req, addr, size, dst, tag)
+        return req
+
+    def _acquire_slot(self, ch: _PeerChannel):
+        while not ch.send_slots:
+            self.counters.add("mpi.eager_stalls")
+            yield from self._progress_once()
+            yield self.env.timeout(self.config.wait_backoff_ns)
+        return ch.send_slots.popleft()
+
+    def _send_ctrl(self, ch: _PeerChannel, slot: int, raw: bytes,
+                   on_ack: Optional[Callable]) -> "generator":
+        """Stage ``raw`` into ``slot`` and SEND it (generator)."""
+        self.memory.write(slot, raw)
+        yield self.env.timeout(self.memory.memcpy_cost_ns(len(raw)))
+        wr_id = next(self._wr_seq)
+
+        def done():
+            ch.send_slots.append(slot)
+            if on_ack is not None:
+                on_ack()
+
+        self._ops[wr_id] = done
+        wr = SendWR(opcode=Opcode.SEND, wr_id=wr_id, local_addr=slot,
+                    length=len(raw))
+        yield from ch.qp.post_send_timed(wr)
+
+    def _send_eager(self, req: MPIRequest, addr: int, size: int, dst: int,
+                    tag: int):
+        ch = self._peer(dst)
+        slot = yield from self._acquire_slot(ch)
+        payload = self.memory.read(addr, size) if size else b""
+        raw = HDR.pack(KIND_EAGER, tag, size, req.rid, 0, 0) + payload
+        # eager completes locally once the bounce copy is on the wire
+        rid = req.rid
+
+        def on_ack():
+            self.live_requests[rid].complete(self.env.now)
+
+        yield from self._send_ctrl(ch, slot, raw, on_ack)
+        self.counters.add("mpi.eager_sends")
+
+    def _send_rts(self, req: MPIRequest, addr: int, size: int, dst: int,
+                  tag: int):
+        ch = self._peer(dst)
+        mr = yield from self.rcache.acquire(addr, size)
+        slot = yield from self._acquire_slot(ch)
+        raw = HDR.pack(KIND_RTS, tag, size, req.rid, addr, mr.rkey)
+        yield from self._send_ctrl(ch, slot, raw, None)
+        self.counters.add("mpi.rndv_sends")
+        # request completes when the FIN arrives
+
+    def _send_fin(self, dst: int, sreq: int):
+        ch = self._peer(dst)
+        slot = yield from self._acquire_slot(ch)
+        raw = HDR.pack(KIND_FIN, 0, 0, sreq, 0, 0)
+        yield from self._send_ctrl(ch, slot, raw, None)
+
+    # ------------------------------------------------------------- recv side
+    def irecv(self, addr: int, length: int, src: int, tag: int):
+        """Non-blocking receive into simulated memory (generator → request)."""
+        req = MPIRequest("recv", self.env.now)
+        self.live_requests[req.rid] = req
+        self.counters.add("mpi.irecvs")
+        yield self.env.timeout(self.config.sw_overhead_ns)
+        # check the unexpected queue first (standard MPI behaviour)
+        msg = self.matcher.match_posted(src, tag)
+        if msg is not None:
+            yield from self._satisfy_recv(req, addr, length, msg)
+            return req
+        self.matcher.post(PostedRecv(request=req, src=src, tag=tag,
+                                     addr=addr, length=length))
+        return req
+
+    def _satisfy_recv(self, req: MPIRequest, addr: int, length: int,
+                      msg: UnexpectedMsg):
+        if msg.is_rts:
+            posted = PostedRecv(request=req, src=msg.src, tag=msg.tag,
+                                addr=addr, length=length)
+            yield from self._fetch_rendezvous(posted, msg)
+        else:
+            if len(msg.payload) > length:
+                raise SimulationError(
+                    f"rank {self.rank}: eager message of {len(msg.payload)}B "
+                    f"truncates {length}B receive (tag {msg.tag})")
+            self.memory.write(addr, msg.payload)
+            yield self.env.timeout(
+                self.memory.memcpy_cost_ns(len(msg.payload)))
+            req.status = Status(source=msg.src, tag=msg.tag,
+                                count=len(msg.payload))
+            req.complete(self.env.now)
+
+    def _fetch_rendezvous(self, posted: PostedRecv, msg: UnexpectedMsg):
+        """RGET: read the advertised buffer, then FIN the sender."""
+        if msg.size > posted.length:
+            raise SimulationError(
+                f"rank {self.rank}: rendezvous message of {msg.size}B "
+                f"truncates {posted.length}B receive")
+        yield from self.rcache.acquire(posted.addr, msg.size)
+        wr_id = next(self._wr_seq)
+        req = posted.request
+        src, tag, size, sreq = msg.src, msg.tag, msg.size, msg.sreq
+
+        def done():
+            req.status = Status(source=src, tag=tag, count=size)
+            req.complete(self.env.now)
+            self.env.process(self._send_fin(src, sreq), name="mpi:fin")
+
+        self._ops[wr_id] = done
+        ch = self._peer(src)
+        wr = SendWR(opcode=Opcode.RDMA_READ, wr_id=wr_id,
+                    local_addr=posted.addr, length=size,
+                    remote_addr=msg.remote_addr, rkey=msg.remote_key)
+        yield from ch.qp.post_send_timed(wr)
+        self.counters.add("mpi.rndv_fetches")
+
+    def _deliver_local(self, src: int, tag: int, payload: bytes):
+        """Self-send: goes straight through matching."""
+        posted = self.matcher.match_arrival(src, tag)
+        if posted is None:
+            self.matcher.add_unexpected(
+                UnexpectedMsg(src=src, tag=tag, payload=payload))
+            return
+        if len(payload) > posted.length:
+            raise SimulationError("self-send truncates receive")
+        self.memory.write(posted.addr, payload)
+        yield self.env.timeout(self.memory.memcpy_cost_ns(len(payload)))
+        posted.request.status = Status(source=src, tag=tag,
+                                       count=len(payload))
+        posted.request.complete(self.env.now)
+
+    # ------------------------------------------------------------- progress
+    def _progress_once(self):
+        env = self.env
+        nic = self.cluster.params.nic
+        yield env.timeout(self.config.progress_poll_ns)
+        for wc in self.send_cq.poll(max_entries=32):
+            yield env.timeout(nic.cqe_poll_ns)
+            cb = self._ops.pop(wc.wr_id, None)
+            if cb is not None:
+                cb()
+        for wc in self.recv_cq.poll(max_entries=32):
+            yield env.timeout(nic.cqe_poll_ns)
+            yield from self._on_recv(wc)
+        self.counters.add("mpi.progress_passes")
+
+    def _on_recv(self, wc):
+        yield self.env.timeout(self.config.sw_overhead_ns)
+        ch = self._peer(wc.src_rank)
+        slot = ch.recv_slots.pop(wc.wr_id)
+        raw = self.memory.read(slot, wc.byte_len)
+        kind, tag, size, sreq, raddr, rkey = HDR.unpack(raw[:HDR.size])
+        if kind == KIND_EAGER:
+            payload = raw[HDR.size:HDR.size + size]
+            posted = self.matcher.match_arrival(wc.src_rank, tag)
+            if posted is None:
+                # copy out of the bounce so it can be reposted
+                yield self.env.timeout(self.memory.memcpy_cost_ns(size))
+                self.matcher.add_unexpected(UnexpectedMsg(
+                    src=wc.src_rank, tag=tag, payload=payload))
+                self.counters.add("mpi.unexpected")
+            else:
+                if size > posted.length:
+                    raise SimulationError(
+                        f"rank {self.rank}: eager message of {size}B "
+                        f"truncates {posted.length}B receive (tag {tag})")
+                self.memory.write(posted.addr, payload)
+                yield self.env.timeout(self.memory.memcpy_cost_ns(size))
+                posted.request.status = Status(source=wc.src_rank, tag=tag,
+                                               count=size)
+                posted.request.complete(self.env.now)
+        elif kind == KIND_RTS:
+            posted = self.matcher.match_arrival(wc.src_rank, tag)
+            msg = UnexpectedMsg(src=wc.src_rank, tag=tag, payload=None,
+                                remote_addr=raddr, remote_key=rkey,
+                                size=size, sreq=sreq)
+            if posted is None:
+                self.matcher.add_unexpected(msg)
+                self.counters.add("mpi.unexpected_rts")
+            else:
+                yield from self._fetch_rendezvous(posted, msg)
+        elif kind == KIND_FIN:
+            self.live_requests[sreq].complete(self.env.now)
+        else:
+            raise SimulationError(f"bad wire kind {kind}")
+        # repost the bounce
+        new_id = next(self._wr_seq)
+        ch.recv_slots[new_id] = slot
+        ch.qp.post_recv(RecvWR(wr_id=new_id, addr=slot,
+                               length=self.slot_size))
+
+    # ------------------------------------------------------------- waits
+    def _wait_until(self, predicate: Callable[[], bool],
+                    timeout_ns: Optional[int] = None):
+        deadline = None if timeout_ns is None else self.env.now + timeout_ns
+        while not predicate():
+            if deadline is not None and self.env.now >= deadline:
+                return False
+            yield from self._progress_once()
+            if not predicate():
+                yield self.env.timeout(self.config.wait_backoff_ns)
+        return True
+
+    def wait(self, req: MPIRequest, timeout_ns: Optional[int] = None):
+        """Block until the request completes (generator → bool)."""
+        ok = yield from self._wait_until(lambda: req.done, timeout_ns)
+        if ok:
+            self.live_requests.pop(req.rid, None)
+        return ok
+
+    def waitall(self, reqs: List[MPIRequest],
+                timeout_ns: Optional[int] = None):
+        ok = yield from self._wait_until(
+            lambda: all(r.done for r in reqs), timeout_ns)
+        if ok:
+            for r in reqs:
+                self.live_requests.pop(r.rid, None)
+        return ok
+
+    def iprobe(self, src: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Progress once; returns a Status if a matching message is queued
+        (generator)."""
+        yield from self._progress_once()
+        msg = self.matcher.peek_unexpected(src, tag)
+        if msg is None:
+            return None
+        count = msg.size if msg.is_rts else len(msg.payload)
+        return Status(source=msg.src, tag=msg.tag, count=count)
+
+    def probe(self, src: int = ANY_SOURCE, tag: int = ANY_TAG,
+              timeout_ns: Optional[int] = None):
+        """Block until a matching message can be received (generator)."""
+        ok = yield from self._wait_until(
+            lambda: self.matcher.peek_unexpected(src, tag) is not None,
+            timeout_ns)
+        if not ok:
+            return None
+        msg = self.matcher.peek_unexpected(src, tag)
+        count = msg.size if msg.is_rts else len(msg.payload)
+        return Status(source=msg.src, tag=msg.tag, count=count)

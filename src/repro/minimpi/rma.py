@@ -1,0 +1,119 @@
+"""MPI-3-style one-sided windows (the RMA comparator in R1).
+
+``Win`` exposes a registered region on every rank; ``put``/``get``/
+``accumulate`` map to RDMA write/read/fetch-add, and active-target
+synchronisation is via ``fence`` (drain local operations + barrier).
+This is the "MPI RMA" baseline the paper compares PWC against: the data
+path is the same hardware primitive, but completion/synchronisation
+semantics force epoch-wide fences instead of per-operation completions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List
+
+from ..sim.core import SimulationError
+from ..verbs.enums import Access, Opcode
+from ..verbs.qp import SendWR
+from .comm import Comm
+
+__all__ = ["Win", "win_allocate"]
+
+
+class Win:
+    """One rank's handle on a window collectively created over a comm."""
+
+    def __init__(self, comm: Comm, addr: int, size: int):
+        self.comm = comm
+        self.engine = comm.engine
+        self.addr = addr
+        self.size = size
+        self.env = comm.env
+        mr = self.engine.context.reg_mr_sync(self.engine.pd, addr, size,
+                                             Access.ALL)
+        self.rkey = mr.rkey
+        #: (addr, rkey) of every rank's window, filled by win_allocate
+        self.remote: Dict[int, tuple] = {comm.rank: (addr, self.rkey)}
+        self._pending = 0
+        self._wr_seq = itertools.count(1)
+
+    # ------------------------------------------------------------- epochs
+    def fence(self):
+        """Complete all outstanding RMA ops, then barrier (generator)."""
+        yield from self.engine._wait_until(lambda: self._pending == 0)
+        yield from self.comm.barrier()
+        self.engine.counters.add("mpi.rma_fences")
+
+    def flush(self):
+        """Complete outstanding local operations only (generator)."""
+        yield from self.engine._wait_until(lambda: self._pending == 0)
+
+    # ------------------------------------------------------------- data ops
+    def _target(self, rank: int, offset: int, size: int) -> tuple:
+        if rank not in self.remote:
+            raise SimulationError(f"window has no rank {rank}")
+        raddr, rkey = self.remote[rank]
+        if offset < 0 or offset + size > self.size:
+            raise SimulationError(
+                f"RMA access [{offset}, {offset + size}) outside "
+                f"{self.size}-byte window")
+        return raddr + offset, rkey
+
+    def _post(self, rank: int, wr: SendWR):
+        if rank == self.comm.rank:
+            raise SimulationError(
+                "loopback window access: use local memory directly")
+        self._pending += 1
+
+        def done():
+            self._pending -= 1
+
+        wr.wr_id = next(self.engine._wr_seq)
+        self.engine._ops[wr.wr_id] = done
+        ch = self.engine._peer(rank)
+        yield from ch.qp.post_send_timed(wr)
+
+    def put(self, local_addr: int, size: int, rank: int, offset: int = 0):
+        """One-sided put into ``rank``'s window (generator)."""
+        raddr, rkey = self._target(rank, offset, size)
+        yield from self.engine.rcache.acquire(local_addr, size)
+        wr = SendWR(opcode=Opcode.RDMA_WRITE, local_addr=local_addr,
+                    length=size, remote_addr=raddr, rkey=rkey)
+        yield from self._post(rank, wr)
+        self.engine.counters.add("mpi.rma_puts")
+
+    def get(self, local_addr: int, size: int, rank: int, offset: int = 0):
+        """One-sided get from ``rank``'s window (generator)."""
+        raddr, rkey = self._target(rank, offset, size)
+        yield from self.engine.rcache.acquire(local_addr, size)
+        wr = SendWR(opcode=Opcode.RDMA_READ, local_addr=local_addr,
+                    length=size, remote_addr=raddr, rkey=rkey)
+        yield from self._post(rank, wr)
+        self.engine.counters.add("mpi.rma_gets")
+
+    def fetch_add(self, local_addr: int, rank: int, offset: int,
+                  operand: int):
+        """Remote atomic fetch-and-add on an 8-byte word (generator)."""
+        raddr, rkey = self._target(rank, offset, 8)
+        yield from self.engine.rcache.acquire(local_addr, 8)
+        wr = SendWR(opcode=Opcode.ATOMIC_FETCH_ADD, local_addr=local_addr,
+                    remote_addr=raddr, rkey=rkey, compare_add=operand)
+        yield from self._post(rank, wr)
+        self.engine.counters.add("mpi.rma_atomics")
+
+
+def win_allocate(comms: List[Comm], size: int) -> List[Win]:
+    """Collectively create a window of ``size`` bytes on every rank.
+
+    Runs at t=0 (window creation cost is not part of measured loops); the
+    (addr, rkey) exchange models MPI_Win_allocate's internal allgather.
+    """
+    wins = []
+    for comm in comms:
+        addr = comm.memory.alloc(size, align=64)
+        wins.append(Win(comm, addr, size))
+    for w in wins:
+        for other in wins:
+            w.remote[other.comm.rank] = (other.addr, other.rkey)
+    return wins

@@ -1,0 +1,30 @@
+"""Photon: remote memory access middleware (the paper's contribution).
+
+Public surface:
+
+- :func:`photon_init` / :class:`Photon` — endpoint lifecycle
+- buffers: ``Photon.buffer`` / ``register_buffer`` (+ registration cache)
+- PWC: ``put_pwc`` / ``get_pwc`` / ``send_pwc`` / ``probe_completion`` /
+  ``wait_completion`` / ``probe_message`` / ``wait_message``
+- request-based RMA: ``post_os_put`` / ``post_os_get`` / ``wait`` / ``test``
+- rendezvous messaging: ``send_rdma`` / ``wait_recv_info`` / ``recv_rdma`` /
+  ``send_msg`` / ``recv_msg``
+- collectives: ``barrier`` / ``allreduce`` / ``allgather`` / ``exchange``
+- backends: :mod:`repro.photon.backends`
+"""
+
+from .api import Photon, PhotonBuffer, photon_init
+from .base import Completion
+from .config import DEFAULT_CONFIG, PhotonConfig
+from .messaging import ANY, RecvInfo
+from .rcache import RegistrationCache
+from .request import PhotonRequest, RequestKind, RequestState, RequestTable
+
+__all__ = [
+    "Photon", "PhotonBuffer", "photon_init",
+    "Completion",
+    "DEFAULT_CONFIG", "PhotonConfig",
+    "ANY", "RecvInfo",
+    "RegistrationCache",
+    "PhotonRequest", "RequestKind", "RequestState", "RequestTable",
+]

@@ -1,0 +1,12 @@
+"""Photon transport backends.
+
+The real library selects a backend at init (``verbs``, ``ugni``, ``fi``,
+or the two-sided ``sw`` fallback).  Here a backend is a bundle of fabric
+parameters plus the Photon configuration tweaks that match how that
+transport behaves; :func:`backend` resolves a name to the bundle and
+:func:`build_photon_cluster` assembles a ready cluster+endpoints pair.
+"""
+
+from .base import Backend, backend, build_photon_cluster, BACKENDS
+
+__all__ = ["Backend", "backend", "build_photon_cluster", "BACKENDS"]

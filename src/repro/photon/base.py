@@ -1,0 +1,367 @@
+"""Photon endpoint state, bootstrap and the progress engine.
+
+One :class:`PhotonBase` instance exists per rank.  Bootstrap (performed by
+:func:`repro.photon.api.photon_init`) wires the full mesh: a reliable
+queue pair per peer, the four ledger rings per direction, staging mirrors
+and credit words — all in one registered region per rank, with bases/rkeys
+exchanged out of band exactly like the real system's PMI exchange.
+
+The progress engine is *polling*: it only runs inside API calls (probe/
+wait), as in the real library, and it charges host time for every pass,
+every reaped CQE and every eager payload copy-out.  One-sided data
+movement happens entirely in the (simulated) NIC — a rank that never calls
+into Photon still receives puts into its exposed buffers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..cluster import Cluster, RankNode
+from ..sim.core import Environment, SimulationError
+from ..verbs.cq import CompletionQueue
+from ..verbs.device import ProtectionDomain
+from ..verbs.enums import Access, Opcode, WCOpcode
+from ..verbs.qp import QueuePair, RecvWR, SendWR
+from .config import PhotonConfig
+from .ledger import LocalRing, RemoteRing, RingSpec
+from .rcache import RegistrationCache
+from .request import RequestTable
+from .wire import (
+    COMPLETION_ENTRY_SIZE,
+    CompletionEntry,
+    EAGER_HEADER_SIZE,
+    EagerHeader,
+    FIN_ENTRY_SIZE,
+    FinEntry,
+    INFO_ENTRY_SIZE,
+    InfoEntry,
+)
+
+__all__ = ["PhotonBase", "PeerState", "Completion", "RING_NAMES"]
+
+RING_NAMES = ("cmp", "eager", "info", "fin")
+
+#: photon_probe_completion result
+@dataclass(frozen=True)
+class Completion:
+    """A local or remote PWC completion event."""
+
+    kind: str  # "local" | "remote"
+    cid: int
+    src: int
+
+
+@dataclass
+class PeerState:
+    """Everything rank-local about one peer."""
+
+    rank: int
+    qp: QueuePair
+    remote: Dict[str, RemoteRing] = field(default_factory=dict)
+    local: Dict[str, LocalRing] = field(default_factory=dict)
+    #: local staging for the 8-byte credit words we send to this peer
+    credit_staging: Dict[str, int] = field(default_factory=dict)
+    outstanding: int = 0
+    preposted: int = 0
+
+
+class PhotonBase:
+    """Per-rank endpoint core (mixins add the public operations)."""
+
+    def __init__(self, node: RankNode, cluster: Cluster, config: PhotonConfig):
+        config.validate()
+        self.node = node
+        self.cluster = cluster
+        self.config = config
+        self.rank = node.rank
+        self.env: Environment = cluster.env
+        self.context = node.context
+        self.memory = node.memory
+        self.counters = cluster.counters
+        self.pd: ProtectionDomain = self.context.alloc_pd()
+        qp_total = cluster.n * (2 * config.max_outstanding + 64)
+        self.send_cq: CompletionQueue = self.context.create_cq(
+            capacity=max(4096, qp_total))
+        self.recv_cq: CompletionQueue = self.context.create_cq(
+            capacity=max(4096, cluster.n * config.imm_prepost * 2))
+        self.rcache = RegistrationCache(
+            self.context, self.pd, capacity=config.rcache_capacity,
+            enabled=config.rcache_enabled)
+        self.requests = RequestTable(self.rank)
+        self.peers: Dict[int, PeerState] = {}
+        # engine queues
+        self._op_seq = 0
+        self._ops: Dict[int, Tuple[str, Optional[Callable]]] = {}
+        self.local_cids: Deque[int] = deque()
+        self.remote_cids: Deque[Tuple[int, int]] = deque()  # (cid, src)
+        self.messages: Deque[Tuple[int, int, bytes]] = deque()  # (src, cid, data)
+        self.infos: List[InfoEntry] = []
+        #: rank-local rendezvous sends awaiting a local recv (tag, data, rid)
+        self._self_rendezvous: List[Tuple[int, bytes, int]] = []
+        #: old values from completed atomics, keyed by local cid
+        self._atomic_results: Dict[int, int] = {}
+        #: collective epoch counter (SPMD calls advance it identically)
+        self._coll_epoch = 0
+        # ledger region bookkeeping (filled by _alloc_ledgers)
+        self._ledger_mr = None
+        self._layout: Dict[Tuple[int, str, str], int] = {}
+        self._specs = self._ring_specs()
+
+    # ------------------------------------------------------------- geometry
+    def _ring_specs(self) -> Dict[str, RingSpec]:
+        c = self.config
+        eager_entry = EAGER_HEADER_SIZE + c.eager_limit + 8  # + seq trailer
+        return {
+            "cmp": RingSpec("cmp", c.completion_entries, COMPLETION_ENTRY_SIZE),
+            "eager": RingSpec("eager", c.eager_slots, eager_entry),
+            "info": RingSpec("info", c.info_entries, INFO_ENTRY_SIZE),
+            "fin": RingSpec("fin", c.fin_entries, FIN_ENTRY_SIZE),
+        }
+
+    def _alloc_ledgers(self) -> None:
+        """Allocate + register consumer rings, staging mirrors, credit words."""
+        mem = self.memory
+        per_peer = sum(s.nbytes for s in self._specs.values())
+        total_ranks = [r for r in range(self.cluster.n) if r != self.rank]
+        # consumer rings + credit staging; producer staging + credit words
+        region_size = len(total_ranks) * (2 * per_peer
+                                          + 2 * 8 * len(RING_NAMES))
+        if not total_ranks:
+            return  # single rank: no ledgers needed
+        base = mem.alloc(region_size, align=64)
+        cursor = base
+        for peer in total_ranks:
+            for name in RING_NAMES:
+                self._layout[(peer, name, "cons")] = cursor
+                cursor += self._specs[name].nbytes
+            for name in RING_NAMES:
+                self._layout[(peer, name, "stage")] = cursor
+                cursor += self._specs[name].nbytes
+            for name in RING_NAMES:
+                self._layout[(peer, name, "credit")] = cursor  # written by peer
+                cursor += 8
+            for name in RING_NAMES:
+                self._layout[(peer, name, "credit_stage")] = cursor
+                cursor += 8
+        self._ledger_mr = self.context.reg_mr_sync(
+            self.pd, base, cursor - base, Access.ALL)
+
+    def _wire_peer(self, other: "PhotonBase", qp: QueuePair) -> None:
+        """Create the peer state for ``other`` (both endpoints bootstrapped)."""
+        peer = PeerState(rank=other.rank, qp=qp)
+        for name in RING_NAMES:
+            spec = self._specs[name]
+            # producer view: we write other's consumer ring for us
+            peer.remote[name] = RemoteRing(
+                spec,
+                remote_base=other._layout[(self.rank, name, "cons")],
+                rkey=other._ledger_mr.rkey,
+                staging_base=self._layout[(other.rank, name, "stage")],
+                credit_addr=self._layout[(other.rank, name, "credit")],
+                memory=self.memory)
+            # consumer view: our ring written by other; credits go back to
+            # other's credit word for us
+            peer.local[name] = LocalRing(
+                spec,
+                base=self._layout[(other.rank, name, "cons")],
+                memory=self.memory,
+                producer_credit_addr=other._layout[(self.rank, name, "credit")],
+                producer_rkey=other._ledger_mr.rkey,
+                credit_fraction=self.config.credit_fraction)
+            peer.credit_staging[name] = self._layout[
+                (other.rank, name, "credit_stage")]
+        self.peers[other.rank] = peer
+        if self.config.use_imm:
+            for _ in range(self.config.imm_prepost):
+                qp.post_recv(RecvWR())
+                peer.preposted += 1
+
+    # ------------------------------------------------------------- posting
+    def _next_op(self, kind: str, callback: Optional[Callable]) -> int:
+        self._op_seq += 1
+        self._ops[self._op_seq] = (kind, callback)
+        return self._op_seq
+
+    def _peer(self, rank: int) -> PeerState:
+        peer = self.peers.get(rank)
+        if peer is None:
+            raise SimulationError(
+                f"rank {self.rank}: no photon peer {rank} (self-sends are "
+                "handled above this layer)")
+        return peer
+
+    def _post(self, peer: PeerState, wr: SendWR,
+              on_ack: Optional[Callable] = None):
+        """Charge post overhead, track outstanding, post (generator)."""
+        while peer.outstanding >= self.config.max_outstanding:
+            yield from self._progress_once()
+            yield self.env.timeout(self.config.wait_backoff_ns)
+        wr.wr_id = self._next_op("ack", on_ack)
+        wr.signaled = True
+        peer.outstanding += 1
+        yield from peer.qp.post_send_timed(wr)
+        self.counters.add("photon.posts")
+
+    def _post_ring_entry(self, peer: PeerState, ring_name: str,
+                         entry: bytes, on_ack: Optional[Callable] = None,
+                         extent: Optional[int] = None):
+        """Claim a slot in the peer's ring and RDMA-write ``entry`` into it.
+
+        ``extent``: bytes of the slot actually written (defaults to the
+        entry length) — eager entries only write header+payload+trailer,
+        not the full slot.  Returns the claimed sequence number (generator).
+        """
+        ring = peer.remote[ring_name]
+        while ring.available() <= 0:
+            self.counters.add(f"photon.{ring_name}_stalls")
+            yield from self._progress_once()
+            yield self.env.timeout(self.config.wait_backoff_ns)
+        seq, stage_addr, remote_addr = ring.claim()
+        nbytes = extent if extent is not None else len(entry)
+        if len(entry) > ring.spec.entry_size:
+            raise SimulationError(
+                f"entry of {len(entry)}B exceeds {ring.spec.name} slot")
+        # compose into staging (host copy cost)
+        self.memory.write(stage_addr, entry)
+        yield self.env.timeout(self.memory.memcpy_cost_ns(len(entry)))
+        nic = self.cluster.params.nic
+        use_inline = (self.config.use_inline and nbytes <= nic.max_inline)
+        wr = SendWR(opcode=Opcode.RDMA_WRITE, local_addr=stage_addr,
+                    length=nbytes, remote_addr=remote_addr, rkey=ring.rkey,
+                    inline=use_inline)
+        yield from self._post(peer, wr, on_ack)
+        return seq
+
+    def _send_credit(self, peer: PeerState, ring_name: str):
+        """Return ledger credit to the producer (tiny RDMA write)."""
+        local = peer.local[ring_name]
+        value = local.mark_credit_sent()
+        stage = peer.credit_staging[ring_name]
+        self.memory.write_u64(stage, value)
+        nic = self.cluster.params.nic
+        wr = SendWR(opcode=Opcode.RDMA_WRITE, local_addr=stage, length=8,
+                    remote_addr=local.producer_credit_addr,
+                    rkey=local.producer_rkey,
+                    inline=self.config.use_inline and 8 <= nic.max_inline)
+        yield from self._post(peer, wr, None)
+        self.counters.add("photon.credit_writes")
+
+    # ------------------------------------------------------------- progress
+    def _progress_once(self):
+        """One polling pass: CQs then ledgers (generator, charges time)."""
+        env = self.env
+        nic = self.cluster.params.nic
+        yield env.timeout(self.config.progress_poll_ns)
+        # 1) source completions
+        for wc in self.send_cq.poll(max_entries=32):
+            yield env.timeout(nic.cqe_poll_ns)
+            kind, callback = self._ops.pop(wc.wr_id)
+            peer = self.peers.get(wc.src_rank)
+            if peer is not None:
+                peer.outstanding -= 1
+            if callback is not None:
+                callback()
+        # 2) immediate-mode remote completions
+        if self.config.use_imm:
+            for wc in self.recv_cq.poll(max_entries=32):
+                yield env.timeout(nic.cqe_poll_ns)
+                if wc.opcode is WCOpcode.RECV_RDMA_WITH_IMM:
+                    self.remote_cids.append((wc.imm, wc.src_rank))
+                    self.counters.add("photon.remote_cids")
+                peer = self.peers.get(wc.src_rank)
+                if peer is not None:
+                    peer.qp.post_recv(RecvWR())
+        # 3) ledger scans
+        for peer in self.peers.values():
+            yield from self._scan_peer(peer)
+        self.counters.add("photon.progress_passes")
+
+    def _scan_peer(self, peer: PeerState):
+        env = self.env
+        nic = self.cluster.params.nic
+        mem = self.memory
+        # completion ring
+        ring = peer.local["cmp"]
+        while ring.ready():
+            entry = CompletionEntry.unpack(ring.read_head())
+            ring.advance()
+            yield env.timeout(nic.cqe_poll_ns)
+            self.remote_cids.append((entry.cid, entry.src))
+            self.counters.add("photon.remote_cids")
+        # eager ring (header seq + trailer seq must both match)
+        ring = peer.local["eager"]
+        while ring.ready():
+            head = ring.head_addr()
+            header = EagerHeader.unpack(mem.read(head, EAGER_HEADER_SIZE))
+            trailer = mem.read_u64(head + EAGER_HEADER_SIZE + header.size)
+            if trailer != header.seq:
+                break  # payload still landing
+            payload = mem.read(head + EAGER_HEADER_SIZE, header.size)
+            ring.advance()
+            yield env.timeout(mem.memcpy_cost_ns(header.size)
+                              + nic.cqe_poll_ns)
+            self.messages.append((header.src, header.cid, payload))
+            self.counters.add("photon.eager_msgs")
+        # info ring
+        ring = peer.local["info"]
+        while ring.ready():
+            info = InfoEntry.unpack(ring.read_head())
+            ring.advance()
+            yield env.timeout(nic.cqe_poll_ns)
+            self.infos.append(info)
+            self.counters.add("photon.info_entries")
+        # fin ring
+        ring = peer.local["fin"]
+        while ring.ready():
+            fin = FinEntry.unpack(ring.read_head())
+            ring.advance()
+            yield env.timeout(nic.cqe_poll_ns)
+            self.requests.complete(fin.req, env.now)
+            self.counters.add("photon.fins")
+        # credit returns
+        for name in RING_NAMES:
+            if peer.local[name].credit_due():
+                yield from self._send_credit(peer, name)
+
+    def stats(self) -> Dict[str, object]:
+        """Endpoint telemetry snapshot (photon_get_dev_stats analogue)."""
+        return {
+            "rank": self.rank,
+            "pending_requests": self.requests.pending,
+            "requests_created": self.requests.total_created,
+            "queued_local_cids": len(self.local_cids),
+            "queued_remote_cids": len(self.remote_cids),
+            "queued_messages": len(self.messages),
+            "queued_infos": len(self.infos),
+            "outstanding_by_peer": {
+                r: p.outstanding for r, p in self.peers.items()},
+            "rcache": {
+                "hits": self.rcache.hits,
+                "misses": self.rcache.misses,
+                "evictions": self.rcache.evictions,
+                "hit_rate": self.rcache.hit_rate,
+                "size": self.rcache.size,
+            },
+            "ledger_credits": {
+                (peer.rank, name): ring.available()
+                for peer in self.peers.values()
+                for name, ring in peer.remote.items()},
+        }
+
+    def _wait_until(self, predicate: Callable[[], bool],
+                    timeout_ns: Optional[int] = None):
+        """Poll progress until ``predicate()`` holds (generator).
+
+        Returns True on success, False if the optional timeout expired.
+        """
+        deadline = None if timeout_ns is None else self.env.now + timeout_ns
+        while not predicate():
+            if deadline is not None and self.env.now >= deadline:
+                return False
+            yield from self._progress_once()
+            if not predicate():
+                yield self.env.timeout(self.config.wait_backoff_ns)
+        return True

@@ -1,0 +1,217 @@
+"""Collective operations built on PWC primitives.
+
+Photon exposes a small set of collectives used by runtimes at startup and
+for global synchronisation; all are implemented here purely from eager PWC
+sends + probes, demonstrating that the PWC interface is sufficient for
+control-plane collectives:
+
+- ``barrier``   — dissemination (⌈log2 n⌉ rounds of 0-byte messages)
+- ``allreduce`` — recursive doubling (fits eager) or ring reduce-scatter +
+  allgather (large), on numpy arrays
+- ``allgather`` — ring
+- ``exchange``  — allgather of opaque blobs (Photon's buffer-metadata
+  exchange used by runtimes to publish rkeys)
+
+Collective messages are matched on a reserved completion-id space keyed by
+(epoch, step, chunk); SPMD programs must invoke collectives in the same
+order on every rank, as with the real library.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..sim.core import SimulationError
+
+__all__ = ["CollectivesMixin", "REDUCE_OPS"]
+
+_COLL_BASE = 1 << 62
+_EPOCH_SHIFT = 20
+_STEP_SHIFT = 8
+_MAX_CHUNKS = 1 << _STEP_SHIFT
+
+REDUCE_OPS: dict = {
+    "sum": np.add,
+    "min": np.minimum,
+    "max": np.maximum,
+    "prod": np.multiply,
+}
+
+
+class CollectivesMixin:
+    """Adds collectives to the Photon endpoint."""
+
+    # ------------------------------------------------------------------ plumbing
+    def _coll_cid(self, epoch: int, step: int, chunk: int) -> int:
+        if chunk >= _MAX_CHUNKS:
+            raise SimulationError("collective payload too large (chunk id)")
+        return _COLL_BASE | (epoch << _EPOCH_SHIFT) | (step << _STEP_SHIFT) | chunk
+
+    def _coll_send(self, dst: int, data: bytes, epoch: int, step: int):
+        """Send arbitrary-size collective payload as eager chunks (generator)."""
+        limit = self.config.eager_limit
+        nchunks = max(1, -(-len(data) // limit))
+        for i in range(nchunks):
+            chunk = data[i * limit:(i + 1) * limit]
+            yield from self.send_pwc(dst, chunk,
+                                     remote_cid=self._coll_cid(epoch, step, i))
+
+    def _coll_recv(self, src: int, nbytes: int, epoch: int, step: int):
+        """Receive a chunked collective payload (generator)."""
+        limit = self.config.eager_limit
+        nchunks = max(1, -(-nbytes // limit))
+        parts: List[bytes] = []
+        for i in range(nchunks):
+            cid = self._coll_cid(epoch, step, i)
+            got = yield from self.wait_message(
+                lambda s, c, want=cid: s == src and c == want)
+            parts.append(got[2])
+        return b"".join(parts)
+
+    # ------------------------------------------------------------------ barrier
+    def barrier(self):
+        """Dissemination barrier (generator)."""
+        n = self.cluster.n
+        epoch = self._coll_epoch
+        self._coll_epoch += 1
+        if n == 1:
+            return
+        step = 0
+        dist = 1
+        while dist < n:
+            dst = (self.rank + dist) % n
+            src = (self.rank - dist) % n
+            yield from self.send_pwc(dst, b"", remote_cid=self._coll_cid(
+                epoch, step, 0))
+            yield from self.wait_message(
+                lambda s, c, want=self._coll_cid(epoch, step, 0), w_src=src:
+                s == w_src and c == want)
+            dist <<= 1
+            step += 1
+        self.counters.add("photon.barriers")
+
+    # ------------------------------------------------------------------ allreduce
+    def allreduce(self, array: np.ndarray, op: str = "sum"):
+        """Allreduce a numpy array; returns the reduced array (generator)."""
+        if op not in REDUCE_OPS:
+            raise SimulationError(f"unknown reduce op {op!r}")
+        n = self.cluster.n
+        epoch = self._coll_epoch
+        self._coll_epoch += 1
+        if n == 1:
+            return array.copy()
+        data = np.array(array, copy=True)
+        if data.nbytes <= self.config.eager_limit:
+            result = yield from self._allreduce_rd(data, op, epoch)
+        else:
+            result = yield from self._allreduce_ring(data, op, epoch)
+        self.counters.add("photon.allreduces")
+        return result
+
+    def _apply(self, op: str, acc: np.ndarray, raw: bytes) -> np.ndarray:
+        other = np.frombuffer(raw, dtype=acc.dtype).reshape(acc.shape)
+        return REDUCE_OPS[op](acc, other)
+
+    def _allreduce_rd(self, data: np.ndarray, op: str, epoch: int):
+        """Recursive doubling with non-power-of-two fold."""
+        n = self.cluster.n
+        rank = self.rank
+        pof2 = 1
+        while pof2 * 2 <= n:
+            pof2 *= 2
+        rem = n - pof2
+        step = 0
+        # fold: ranks >= pof2 send their data into the low group
+        if rank >= pof2:
+            partner = rank - pof2
+            yield from self._coll_send(partner, data.tobytes(), epoch, step)
+        elif rank < rem:
+            raw = yield from self._coll_recv(rank + pof2, data.nbytes,
+                                             epoch, step)
+            data = self._apply(op, data, raw)
+            yield self.env.timeout(self.memory.memcpy_cost_ns(data.nbytes))
+        step += 1
+        if rank < pof2:
+            dist = 1
+            while dist < pof2:
+                partner = rank ^ dist
+                yield from self._coll_send(partner, data.tobytes(), epoch, step)
+                raw = yield from self._coll_recv(partner, data.nbytes,
+                                                 epoch, step)
+                data = self._apply(op, data, raw)
+                yield self.env.timeout(self.memory.memcpy_cost_ns(data.nbytes))
+                dist <<= 1
+                step += 1
+        else:
+            step += pof2.bit_length() - 1
+        # unfold: low group returns results to the folded ranks
+        if rank < rem:
+            yield from self._coll_send(rank + pof2, data.tobytes(), epoch, step)
+        elif rank >= pof2:
+            raw = yield from self._coll_recv(rank - pof2, data.nbytes,
+                                             epoch, step)
+            data = np.frombuffer(raw, dtype=data.dtype).reshape(
+                data.shape).copy()
+        return data
+
+    def _allreduce_ring(self, data: np.ndarray, op: str, epoch: int):
+        """Ring reduce-scatter + ring allgather for large arrays."""
+        n = self.cluster.n
+        rank = self.rank
+        flat = data.reshape(-1)
+        bounds = np.linspace(0, flat.size, n + 1).astype(int)
+        segs = [flat[bounds[i]:bounds[i + 1]].copy() for i in range(n)]
+        right = (rank + 1) % n
+        left = (rank - 1) % n
+        # reduce-scatter
+        for step in range(n - 1):
+            send_idx = (rank - step) % n
+            recv_idx = (rank - step - 1) % n
+            yield from self._coll_send(right, segs[send_idx].tobytes(),
+                                       epoch, step)
+            raw = yield from self._coll_recv(left, segs[recv_idx].nbytes,
+                                             epoch, step)
+            if segs[recv_idx].size:
+                segs[recv_idx] = REDUCE_OPS[op](
+                    segs[recv_idx],
+                    np.frombuffer(raw, dtype=flat.dtype))
+            yield self.env.timeout(
+                self.memory.memcpy_cost_ns(segs[recv_idx].nbytes))
+        # allgather
+        for step in range(n - 1):
+            send_idx = (rank - step + 1) % n
+            recv_idx = (rank - step) % n
+            yield from self._coll_send(right, segs[send_idx].tobytes(),
+                                       epoch, n - 1 + step)
+            raw = yield from self._coll_recv(left, segs[recv_idx].nbytes,
+                                             epoch, n - 1 + step)
+            segs[recv_idx] = np.frombuffer(raw, dtype=flat.dtype).copy()
+        out = np.concatenate([s for s in segs]) if n > 1 else flat
+        return out.reshape(data.shape)
+
+    # ------------------------------------------------------------------ allgather
+    def allgather(self, data: bytes):
+        """Ring allgather of equal-size blobs; returns list by rank (generator)."""
+        n = self.cluster.n
+        rank = self.rank
+        epoch = self._coll_epoch
+        self._coll_epoch += 1
+        out: List[bytes] = [b""] * n
+        out[rank] = bytes(data)
+        right = (rank + 1) % n
+        left = (rank - 1) % n
+        for step in range(n - 1):
+            send_idx = (rank - step) % n
+            recv_idx = (rank - step - 1) % n
+            yield from self._coll_send(right, out[send_idx], epoch, step)
+            raw = yield from self._coll_recv(left, len(data), epoch, step)
+            out[recv_idx] = raw
+        self.counters.add("photon.allgathers")
+        return out
+
+    def exchange(self, blob: bytes):
+        """Photon's metadata exchange: allgather of opaque blobs (generator)."""
+        result = yield from self.allgather(blob)
+        return result

@@ -1,0 +1,67 @@
+"""Photon middleware configuration.
+
+Mirrors the tunables of the real system (``photon_config_t``): ledger
+depths, the eager threshold, completion-delivery mechanism, and the
+registration-cache policy.  Benchmarks R4/R6 and the backend comparison R7
+sweep these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["PhotonConfig", "DEFAULT_CONFIG"]
+
+
+@dataclass(frozen=True)
+class PhotonConfig:
+    """Per-rank Photon configuration (identical across ranks)."""
+
+    #: payloads <= this may travel through the eager ledger (send path);
+    #: also the eager-slot payload capacity
+    eager_limit: int = 8192
+    #: slots per peer in the eager-message ring
+    eager_slots: int = 32
+    #: entries per peer in the completion (PWC) ring
+    completion_entries: int = 64
+    #: entries per peer in the rendezvous info ring
+    info_entries: int = 32
+    #: entries per peer in the FIN ring
+    fin_entries: int = 32
+    #: deliver remote PWC completions via RDMA_WRITE_WITH_IMM (one wire op
+    #: for data+notification, as in the verbs backend) instead of a second
+    #: completion-ledger write (the uGNI/sw backends' mechanism).  Immediate
+    #: mode requires 32-bit completion ids on the put path.
+    use_imm: bool = True
+    #: preposted zero-byte receives per peer when use_imm is on
+    imm_prepost: int = 64
+    #: return ledger credits after this fraction of the ring is consumed
+    credit_fraction: float = 0.5
+    #: host cost of one progress-engine pass over the ledgers (ns)
+    progress_poll_ns: int = 60
+    #: idle backoff between polls when blocking in wait (ns)
+    wait_backoff_ns: int = 100
+    #: use the registration cache for user buffers
+    rcache_enabled: bool = True
+    #: max cached registrations before LRU eviction
+    rcache_capacity: int = 128
+    #: use inline sends for payloads within the NIC inline limit
+    use_inline: bool = True
+    #: maximum outstanding PWC operations per peer before put backpressure
+    max_outstanding: int = 256
+
+    def replace(self, **kw) -> "PhotonConfig":
+        return replace(self, **kw)
+
+    def validate(self) -> None:
+        if self.eager_limit <= 0:
+            raise ValueError("eager_limit must be positive")
+        for field in ("eager_slots", "completion_entries", "info_entries",
+                      "fin_entries", "imm_prepost", "max_outstanding"):
+            if getattr(self, field) < 2:
+                raise ValueError(f"{field} must be >= 2")
+        if not 0.0 < self.credit_fraction <= 1.0:
+            raise ValueError("credit_fraction must be in (0, 1]")
+
+
+DEFAULT_CONFIG = PhotonConfig()

@@ -1,0 +1,252 @@
+"""Put/Get-With-Completion — Photon's signature interface.
+
+``put_pwc`` writes local bytes into a pre-exposed remote buffer and carries
+two completion identifiers: *local_cid* surfaces at the initiator when the
+source buffer is reusable, *remote_cid* surfaces at the target (via a
+completion-ledger write or, optionally, RDMA-write-with-immediate) once the
+payload is visible there.  The target never posts a matching receive: it
+discovers completions with ``probe_completion`` — active-message semantics
+with no rendezvous and no tag matching.
+
+``send_pwc`` is the buffer-less variant for small payloads: header+payload
+land in the target's eager ring and surface through ``probe_message``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.core import SimulationError
+from ..verbs.enums import Opcode
+from ..verbs.qp import SendWR
+from .base import Completion
+from .wire import CompletionEntry, EagerHeader
+
+__all__ = ["PwcMixin"]
+
+_U32 = 1 << 32
+
+
+class PwcMixin:
+    """Adds the PWC operations to :class:`~repro.photon.base.PhotonBase`."""
+
+    # ------------------------------------------------------------------ put
+    def put_pwc(self, dst: int, local_addr: int, size: int, remote_addr: int,
+                rkey: int, local_cid: Optional[int] = None,
+                remote_cid: Optional[int] = None):
+        """One-sided put with completion identifiers (generator).
+
+        The local buffer is registered through the registration cache if
+        not already covered.  Returns once the operation is *posted*;
+        completions surface via :meth:`probe_completion`.
+        """
+        if size < 0:
+            raise SimulationError("negative put size")
+        if dst == self.rank:
+            yield from self._self_put(local_addr, size, remote_addr,
+                                      local_cid, remote_cid)
+            return
+        peer = self._peer(dst)
+        if size > 0:
+            yield from self.rcache.acquire(local_addr, size)
+        on_ack = None
+        if local_cid is not None:
+            cid = local_cid
+
+            def on_ack():
+                self.local_cids.append(cid)
+                self.counters.add("photon.local_cids")
+
+        if self.config.use_imm and remote_cid is not None:
+            if not 0 <= remote_cid < _U32:
+                raise SimulationError(
+                    f"immediate-mode remote cid {remote_cid} must fit 32 bits")
+            wr = SendWR(opcode=Opcode.RDMA_WRITE_WITH_IMM,
+                        local_addr=local_addr, length=size,
+                        remote_addr=remote_addr, rkey=rkey, imm=remote_cid,
+                        inline=self._inline_ok(size))
+            yield from self._post(peer, wr, on_ack)
+        else:
+            if size > 0:
+                wr = SendWR(opcode=Opcode.RDMA_WRITE, local_addr=local_addr,
+                            length=size, remote_addr=remote_addr, rkey=rkey,
+                            inline=self._inline_ok(size))
+                yield from self._post(peer, wr, on_ack)
+                on_ack = None  # local cid rides on the data write
+            if remote_cid is not None:
+                ring = peer.remote["cmp"]
+                entry = CompletionEntry(seq=ring.produced + 1,
+                                        cid=remote_cid, src=self.rank)
+                yield from self._post_ring_entry(peer, "cmp", entry.pack(),
+                                                 on_ack=on_ack)
+            elif size == 0 and on_ack is not None:
+                # degenerate: nothing on the wire — complete locally now
+                on_ack()
+        self.counters.add("photon.pwc_puts")
+
+    # ------------------------------------------------------------------ get
+    def get_pwc(self, dst: int, local_addr: int, size: int, remote_addr: int,
+                rkey: int, local_cid: Optional[int] = None,
+                remote_cid: Optional[int] = None):
+        """One-sided get with completion identifiers (generator).
+
+        ``local_cid`` surfaces when the data has landed locally;
+        ``remote_cid`` (if given) is then delivered to the *target* so it
+        can learn its buffer was consumed.
+        """
+        if size <= 0:
+            raise SimulationError("get size must be positive")
+        if dst == self.rank:
+            yield from self._self_get(local_addr, size, remote_addr,
+                                      local_cid, remote_cid)
+            return
+        peer = self._peer(dst)
+        yield from self.rcache.acquire(local_addr, size)
+
+        notify = remote_cid
+
+        def on_done():
+            if local_cid is not None:
+                self.local_cids.append(local_cid)
+                self.counters.add("photon.local_cids")
+            if notify is not None:
+                self.env.process(self._notify_after_get(dst, notify),
+                                 name="photon:gwc-notify")
+
+        wr = SendWR(opcode=Opcode.RDMA_READ, local_addr=local_addr,
+                    length=size, remote_addr=remote_addr, rkey=rkey)
+        yield from self._post(peer, wr, on_done)
+        self.counters.add("photon.pwc_gets")
+
+    def _notify_after_get(self, dst: int, remote_cid: int):
+        peer = self._peer(dst)
+        ring = peer.remote["cmp"]
+        entry = CompletionEntry(seq=ring.produced + 1, cid=remote_cid,
+                                src=self.rank)
+        yield from self._post_ring_entry(peer, "cmp", entry.pack())
+
+    # ------------------------------------------------------------------ send
+    def send_pwc(self, dst: int, data: bytes, remote_cid: int,
+                 local_cid: Optional[int] = None):
+        """Buffer-less eager message (generator).
+
+        Payload must fit the eager limit; larger transfers use the
+        rendezvous API (:meth:`send_rdma`).  Surfaces at the target via
+        :meth:`probe_message` as ``(src, remote_cid, payload)``.
+        """
+        if len(data) > self.config.eager_limit:
+            raise SimulationError(
+                f"send_pwc payload {len(data)}B exceeds eager limit "
+                f"{self.config.eager_limit}B; use send_rdma")
+        if dst == self.rank:
+            yield self.env.timeout(self.memory.memcpy_cost_ns(len(data)))
+            self.messages.append((self.rank, remote_cid, bytes(data)))
+            if local_cid is not None:
+                self.local_cids.append(local_cid)
+            self.counters.add("photon.pwc_sends")
+            return
+        peer = self._peer(dst)
+        on_ack = None
+        if local_cid is not None:
+            cid = local_cid
+
+            def on_ack():
+                self.local_cids.append(cid)
+                self.counters.add("photon.local_cids")
+
+        ring = peer.remote["eager"]
+        seq = ring.produced + 1
+        header = EagerHeader(seq=seq, cid=remote_cid, src=self.rank,
+                             size=len(data))
+        entry = header.pack() + bytes(data) + seq.to_bytes(8, "little")
+        yield from self._post_ring_entry(peer, "eager", entry, on_ack=on_ack)
+        self.counters.add("photon.pwc_sends")
+
+    # ------------------------------------------------------------------ probes
+    def probe_completion(self, which: str = "any"):
+        """One progress pass, then pop a completion if present (generator).
+
+        ``which`` filters: "any", "local", or "remote".  Returns a
+        :class:`~repro.photon.base.Completion` or None.
+        """
+        yield from self._progress_once()
+        return self._pop_completion(which)
+
+    def _peek_completion(self, which: str) -> bool:
+        if which in ("any", "remote") and self.remote_cids:
+            return True
+        if which in ("any", "local") and self.local_cids:
+            return True
+        return False
+
+    def _pop_completion(self, which: str) -> Optional[Completion]:
+        if which in ("any", "remote") and self.remote_cids:
+            cid, src = self.remote_cids.popleft()
+            return Completion("remote", cid, src)
+        if which in ("any", "local") and self.local_cids:
+            return Completion("local", self.local_cids.popleft(), self.rank)
+        return None
+
+    def wait_completion(self, which: str = "any",
+                        timeout_ns: Optional[int] = None):
+        """Block (polling) until a completion arrives (generator).
+
+        Returns the completion, or None if ``timeout_ns`` expired.
+        """
+        ok = yield from self._wait_until(
+            lambda: self._peek_completion(which), timeout_ns)
+        return self._pop_completion(which) if ok else None
+
+    def probe_message(self, match=None):
+        """One progress pass, then pop an eager message (generator).
+
+        ``match``: optional predicate over ``(src, cid)``.  Returns
+        ``(src, cid, payload)`` or None.
+        """
+        yield from self._progress_once()
+        return self._pop_message(match)
+
+    def _find_message(self, match=None) -> Optional[int]:
+        for i, (src, cid, _data) in enumerate(self.messages):
+            if match is None or match(src, cid):
+                return i
+        return None
+
+    def _pop_message(self, match=None):
+        i = self._find_message(match)
+        if i is None:
+            return None
+        src, cid, data = self.messages[i]
+        del self.messages[i]
+        return (src, cid, data)
+
+    def wait_message(self, match=None, timeout_ns: Optional[int] = None):
+        """Block (polling) until a matching eager message arrives (generator)."""
+        ok = yield from self._wait_until(
+            lambda: self._find_message(match) is not None, timeout_ns)
+        return self._pop_message(match) if ok else None
+
+    # ------------------------------------------------------------------ self ops
+    def _self_put(self, local_addr, size, remote_addr, local_cid, remote_cid):
+        data = self.memory.read(local_addr, size) if size else b""
+        yield self.env.timeout(self.memory.memcpy_cost_ns(size))
+        if size:
+            self.memory.write(remote_addr, data)
+        if local_cid is not None:
+            self.local_cids.append(local_cid)
+        if remote_cid is not None:
+            self.remote_cids.append((remote_cid, self.rank))
+
+    def _self_get(self, local_addr, size, remote_addr, local_cid, remote_cid):
+        data = self.memory.read(remote_addr, size)
+        yield self.env.timeout(self.memory.memcpy_cost_ns(size))
+        self.memory.write(local_addr, data)
+        if local_cid is not None:
+            self.local_cids.append(local_cid)
+        if remote_cid is not None:
+            self.remote_cids.append((remote_cid, self.rank))
+
+    # ------------------------------------------------------------------ helpers
+    def _inline_ok(self, size: int) -> bool:
+        return (self.config.use_inline
+                and size <= self.cluster.params.nic.max_inline)

@@ -1,0 +1,119 @@
+"""Request-tracked one-sided operations (photon_post_os_put / os_get).
+
+These are the plain RMA verbs of the API: no completion identifiers, just
+a request id observed with ``wait``/``test``.  Used directly by runtimes
+for global-address-space reads/writes, and internally by the rendezvous
+messaging protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.core import SimulationError
+from ..verbs.enums import Opcode
+from ..verbs.qp import SendWR
+from .request import PhotonRequest, RequestKind
+
+__all__ = ["RdmaMixin"]
+
+
+class RdmaMixin:
+    """Adds os_put/os_get/wait/test to the Photon endpoint."""
+
+    def post_os_put(self, dst: int, local_addr: int, size: int,
+                    remote_addr: int, rkey: int):
+        """Post a one-sided put; returns the request id (generator)."""
+        req = self.requests.create(RequestKind.OS_PUT, dst, size, 0,
+                                   self.env.now)
+        if dst == self.rank:
+            yield from self._self_put(local_addr, size, remote_addr,
+                                      None, None)
+            self.requests.complete(req.rid, self.env.now)
+            return req.rid
+        peer = self._peer(dst)
+        if size > 0:
+            yield from self.rcache.acquire(local_addr, size)
+        rid = req.rid
+
+        def on_ack():
+            self.requests.complete(rid, self.env.now)
+
+        wr = SendWR(opcode=Opcode.RDMA_WRITE, local_addr=local_addr,
+                    length=size, remote_addr=remote_addr, rkey=rkey,
+                    inline=self._inline_ok(size))
+        yield from self._post(peer, wr, on_ack)
+        self.counters.add("photon.os_puts")
+        return req.rid
+
+    def post_os_get(self, dst: int, local_addr: int, size: int,
+                    remote_addr: int, rkey: int):
+        """Post a one-sided get; returns the request id (generator)."""
+        if size <= 0:
+            raise SimulationError("get size must be positive")
+        req = self.requests.create(RequestKind.OS_GET, dst, size, 0,
+                                   self.env.now)
+        if dst == self.rank:
+            yield from self._self_get(local_addr, size, remote_addr,
+                                      None, None)
+            self.requests.complete(req.rid, self.env.now)
+            return req.rid
+        peer = self._peer(dst)
+        yield from self.rcache.acquire(local_addr, size)
+        rid = req.rid
+
+        def on_ack():
+            self.requests.complete(rid, self.env.now)
+
+        wr = SendWR(opcode=Opcode.RDMA_READ, local_addr=local_addr,
+                    length=size, remote_addr=remote_addr, rkey=rkey)
+        yield from self._post(peer, wr, on_ack)
+        self.counters.add("photon.os_gets")
+        return req.rid
+
+    # ------------------------------------------------------------------ waits
+    def test(self, rid: int) -> bool:
+        """Non-blocking completion check (no progress, zero time)."""
+        return self.requests.get(rid).completed
+
+    def wait(self, rid: int, timeout_ns: Optional[int] = None):
+        """Poll progress until the request completes (generator).
+
+        Returns True, or False on timeout.  The request stays live until
+        :meth:`free_request`.
+        """
+        ok = yield from self._wait_until(
+            lambda: self.requests.get(rid).completed, timeout_ns)
+        return ok
+
+    def wait_all(self, rids, timeout_ns: Optional[int] = None):
+        """Wait for a set of requests (generator)."""
+        ok = yield from self._wait_until(
+            lambda: all(self.requests.get(r).completed for r in rids),
+            timeout_ns)
+        return ok
+
+    def wait_any(self, rids, timeout_ns: Optional[int] = None):
+        """Wait for at least one of a set of requests (generator).
+
+        Returns the first completed request id (earliest in ``rids``), or
+        None on timeout.
+        """
+        rids = list(rids)
+        if not rids:
+            raise SimulationError("wait_any of an empty request set")
+        ok = yield from self._wait_until(
+            lambda: any(self.requests.get(r).completed for r in rids),
+            timeout_ns)
+        if not ok:
+            return None
+        for r in rids:
+            if self.requests.get(r).completed:
+                return r
+        raise SimulationError("wait_any postcondition violated")
+
+    def free_request(self, rid: int) -> None:
+        self.requests.free(rid)
+
+    def request_info(self, rid: int) -> PhotonRequest:
+        return self.requests.get(rid)

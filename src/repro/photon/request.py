@@ -1,0 +1,100 @@
+"""Request tracking for Photon's request-based (non-PWC) operations.
+
+``photon_post_os_put``-style calls return a request id; ``photon_wait``
+and ``photon_test`` observe it.  The table also backs the rendezvous
+send path, whose requests complete when the peer's FIN entry arrives.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict
+
+from ..sim.core import SimulationError
+
+__all__ = ["RequestKind", "RequestState", "PhotonRequest", "RequestTable"]
+
+
+class RequestKind(enum.Enum):
+    OS_PUT = "os_put"
+    OS_GET = "os_get"
+    SEND_RDMA = "send_rdma"
+    RECV_RDMA = "recv_rdma"
+
+
+class RequestState(enum.Enum):
+    PENDING = "pending"
+    COMPLETED = "completed"
+    FREED = "freed"
+
+
+class PhotonRequest:
+    """One in-flight operation."""
+
+    __slots__ = ("rid", "kind", "peer", "size", "tag", "state", "t_posted",
+                 "t_completed")
+
+    def __init__(self, rid: int, kind: RequestKind, peer: int, size: int,
+                 tag: int, t_posted: int):
+        self.rid = rid
+        self.kind = kind
+        self.peer = peer
+        self.size = size
+        self.tag = tag
+        self.state = RequestState.PENDING
+        self.t_posted = t_posted
+        self.t_completed = -1
+
+    @property
+    def completed(self) -> bool:
+        return self.state is RequestState.COMPLETED
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<PhotonRequest {self.rid} {self.kind.value} peer={self.peer} "
+                f"{self.state.value}>")
+
+
+class RequestTable:
+    """Id → request map for one rank."""
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self._seq = itertools.count(1)
+        self._live: Dict[int, PhotonRequest] = {}
+        self.total_created = 0
+
+    def create(self, kind: RequestKind, peer: int, size: int, tag: int,
+               now: int) -> PhotonRequest:
+        rid = next(self._seq)
+        req = PhotonRequest(rid, kind, peer, size, tag, now)
+        self._live[rid] = req
+        self.total_created += 1
+        return req
+
+    def get(self, rid: int) -> PhotonRequest:
+        req = self._live.get(rid)
+        if req is None:
+            raise SimulationError(
+                f"rank {self.rank}: unknown or freed request id {rid}")
+        return req
+
+    def complete(self, rid: int, now: int) -> PhotonRequest:
+        req = self.get(rid)
+        if req.state is not RequestState.PENDING:
+            raise SimulationError(f"request {rid} completed twice")
+        req.state = RequestState.COMPLETED
+        req.t_completed = now
+        return req
+
+    def free(self, rid: int) -> None:
+        req = self._live.pop(rid, None)
+        if req is None:
+            raise SimulationError(
+                f"rank {self.rank}: freeing unknown request {rid}")
+        req.state = RequestState.FREED
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for r in self._live.values()
+                   if r.state is RequestState.PENDING)

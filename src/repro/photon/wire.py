@@ -1,0 +1,115 @@
+"""On-the-wire layouts for Photon's ledger entries.
+
+Every ledger entry begins with a monotonically increasing 64-bit sequence
+number.  A consumer knows how many entries it has taken from a given peer's
+ring; the slot at the read index is valid exactly when its sequence equals
+``consumed + 1``.  Because the fabric delivers the bytes of one RDMA write
+atomically with respect to our progress engine (placement happens before
+the delivery event), and writes on one queue pair are ordered, the sequence
+word doubles as the "entry complete" flag — the same trick the real verbs
+backend plays with its ledger curclear/progress words.
+
+All integers are little-endian.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+__all__ = [
+    "CompletionEntry", "EagerHeader", "InfoEntry", "FinEntry",
+    "COMPLETION_ENTRY_SIZE", "EAGER_HEADER_SIZE", "INFO_ENTRY_SIZE",
+    "FIN_ENTRY_SIZE", "CREDIT_WORD_SIZE",
+]
+
+# seq(8) cid(8) src(4) pad(4)
+_COMPLETION = struct.Struct("<QQi4x")
+COMPLETION_ENTRY_SIZE = _COMPLETION.size  # 24
+
+# seq(8) cid(8) src(4) size(4)
+_EAGER_HDR = struct.Struct("<QQii")
+EAGER_HEADER_SIZE = _EAGER_HDR.size  # 24
+
+# seq(8) req(8) tag(8) addr(8) size(8) rkey(8) src(4) pad(4)
+_INFO = struct.Struct("<QQQQQQi4x")
+INFO_ENTRY_SIZE = _INFO.size  # 56
+
+# seq(8) req(8)
+_FIN = struct.Struct("<QQ")
+FIN_ENTRY_SIZE = _FIN.size  # 16
+
+#: consumer -> producer credit-return word
+CREDIT_WORD_SIZE = 8
+
+
+@dataclass(frozen=True)
+class CompletionEntry:
+    """Remote PWC completion notification."""
+
+    seq: int
+    cid: int
+    src: int
+
+    def pack(self) -> bytes:
+        return _COMPLETION.pack(self.seq, self.cid, self.src)
+
+    @staticmethod
+    def unpack(raw: bytes) -> "CompletionEntry":
+        seq, cid, src = _COMPLETION.unpack(raw)
+        return CompletionEntry(seq, cid, src)
+
+
+@dataclass(frozen=True)
+class EagerHeader:
+    """Header preceding an eager payload in the eager ring slot."""
+
+    seq: int
+    cid: int
+    src: int
+    size: int
+
+    def pack(self) -> bytes:
+        return _EAGER_HDR.pack(self.seq, self.cid, self.src, self.size)
+
+    @staticmethod
+    def unpack(raw: bytes) -> "EagerHeader":
+        seq, cid, src, size = _EAGER_HDR.unpack(raw)
+        return EagerHeader(seq, cid, src, size)
+
+
+@dataclass(frozen=True)
+class InfoEntry:
+    """Rendezvous buffer advertisement (sender -> receiver info ledger)."""
+
+    seq: int
+    req: int
+    tag: int
+    addr: int
+    size: int
+    rkey: int
+    src: int
+
+    def pack(self) -> bytes:
+        return _INFO.pack(self.seq, self.req, self.tag, self.addr,
+                          self.size, self.rkey, self.src)
+
+    @staticmethod
+    def unpack(raw: bytes) -> "InfoEntry":
+        seq, req, tag, addr, size, rkey, src = _INFO.unpack(raw)
+        return InfoEntry(seq, req, tag, addr, size, rkey, src)
+
+
+@dataclass(frozen=True)
+class FinEntry:
+    """Rendezvous completion notification (receiver -> sender FIN ledger)."""
+
+    seq: int
+    req: int
+
+    def pack(self) -> bytes:
+        return _FIN.pack(self.seq, self.req)
+
+    @staticmethod
+    def unpack(raw: bytes) -> "FinEntry":
+        seq, req = _FIN.unpack(raw)
+        return FinEntry(seq, req)

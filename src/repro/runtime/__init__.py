@@ -1,0 +1,52 @@
+"""Parcel-based asynchronous many-task runtime (HPX-5 analogue).
+
+The runtime consumes Photon (or minimpi) through the transport layer,
+reproducing the paper's "middleware under a runtime system" integration:
+parcels, an action registry, per-rank schedulers, LCOs and a one-sided
+global address space.
+"""
+
+from .actions import ActionRegistry
+from .coalesce import CoalescingTransport
+from .gas import GlobalAddressSpace, gas_allocate
+from .lco import AndGate, Future, ReduceLCO
+from .parcel import PARCEL_HDR_SIZE, Parcel
+from .scheduler import Runtime
+from .transport import MpiTransport, PARCEL_TAG, PhotonTransport
+
+__all__ = [
+    "ActionRegistry",
+    "CoalescingTransport",
+    "GlobalAddressSpace", "gas_allocate",
+    "AndGate", "Future", "ReduceLCO",
+    "PARCEL_HDR_SIZE", "Parcel",
+    "Runtime",
+    "MpiTransport", "PARCEL_TAG", "PhotonTransport",
+]
+
+
+def build_runtime(cluster, registry, transport="photon", photon=None,
+                  comms=None, max_parcel: int = 1 << 20):
+    """Assemble one Runtime per rank on the chosen transport.
+
+    ``photon``: endpoints from :func:`repro.photon.photon_init` (photon
+    transport); ``comms``: communicators from
+    :func:`repro.minimpi.mpi_init` (mpi transport).
+    """
+    from ..sim.core import SimulationError
+
+    runtimes = []
+    for r in range(cluster.n):
+        if transport == "photon":
+            if photon is None:
+                raise SimulationError("photon endpoints required")
+            tp = PhotonTransport(photon[r], max_parcel=max_parcel)
+        elif transport == "mpi":
+            if comms is None:
+                raise SimulationError("mpi communicators required")
+            tp = MpiTransport(comms[r], max_parcel=max_parcel)
+        else:
+            raise SimulationError(f"unknown transport {transport!r}")
+        runtimes.append(Runtime(r, cluster.env, tp, registry,
+                                counters=cluster.counters))
+    return runtimes

@@ -1,0 +1,65 @@
+"""Action registry: named remote procedures parcels can invoke.
+
+Actions are registered identically on every rank (SPMD), giving each a
+stable integer id that travels in the parcel header.  A handler has the
+signature ``handler(rt, src, payload)`` and may be a plain function or a
+generator (in which case the scheduler drives it, letting handlers
+communicate or sleep).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..sim.core import SimulationError
+
+__all__ = ["ActionRegistry"]
+
+
+class ActionRegistry:
+    """Name ↔ id mapping plus the handler table."""
+
+    def __init__(self):
+        self._by_name: Dict[str, int] = {}
+        self._handlers: List[Callable] = []
+        self._names: List[str] = []
+
+    def register(self, name: str, handler: Callable) -> int:
+        """Register a handler; returns its action id.
+
+        Registration order must match across ranks — register everything
+        before starting the schedulers.
+        """
+        if name in self._by_name:
+            raise SimulationError(f"action {name!r} already registered")
+        aid = len(self._handlers)
+        self._by_name[name] = aid
+        self._handlers.append(handler)
+        self._names.append(name)
+        return aid
+
+    def action(self, name: str):
+        """Decorator form of :meth:`register`."""
+
+        def wrap(fn):
+            self.register(name, fn)
+            return fn
+
+        return wrap
+
+    def id_of(self, name: str) -> int:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SimulationError(f"unknown action {name!r}") from None
+
+    def handler(self, aid: int) -> Callable:
+        if not 0 <= aid < len(self._handlers):
+            raise SimulationError(f"bad action id {aid}")
+        return self._handlers[aid]
+
+    def name_of(self, aid: int) -> str:
+        return self._names[aid]
+
+    def __len__(self) -> int:
+        return len(self._handlers)

@@ -1,0 +1,127 @@
+"""Parcel coalescing: batch small parcels per destination.
+
+Message-driven runtimes amortise per-message overhead by packing many
+small parcels bound for the same rank into one network message (AM++'s
+coalescing buffers; HPX-5 does the same over Photon).  This layer wraps
+any transport:
+
+- ``send`` appends the encoded parcel to the destination's open batch and
+  ships the batch when it reaches ``flush_bytes`` / ``flush_count`` — or
+  when ``flush``/``poll`` observes it has been open longer than
+  ``max_delay_ns`` (latency bound);
+- ``poll`` unpacks batches from the underlying transport and hands the
+  contained parcels out one at a time.
+
+The batch wire format is a chain of ``(u32 length, bytes)`` records.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from ..sim.core import SimulationError
+
+__all__ = ["CoalescingTransport"]
+
+_LEN = struct.Struct("<I")
+#: host cost to parse one frame header and hand the parcel out (ns)
+_PARSE_NS = 40
+
+
+class _Batch:
+    __slots__ = ("chunks", "nbytes", "opened_at")
+
+    def __init__(self, now: int):
+        self.chunks: List[bytes] = []
+        self.nbytes = 0
+        self.opened_at = now
+
+
+class CoalescingTransport:
+    """Batches small parcels per destination over an inner transport."""
+
+    def __init__(self, inner, flush_bytes: int = 4096,
+                 flush_count: int = 16, max_delay_ns: int = 5_000):
+        if flush_bytes < 64 or flush_count < 1:
+            raise SimulationError("unreasonable coalescing thresholds")
+        self.inner = inner
+        self.rank = inner.rank
+        self.flush_bytes = flush_bytes
+        self.flush_count = flush_count
+        self.max_delay_ns = max_delay_ns
+        self._open: Dict[int, _Batch] = {}
+        self._ready: Deque[bytes] = deque()
+        self.batches_sent = 0
+        self.parcels_batched = 0
+
+    @property
+    def env(self):
+        # both transports expose the photon/minimpi env through their lib
+        lib = getattr(self.inner, "ph", None) or getattr(self.inner, "comm")
+        return lib.env
+
+    # ------------------------------------------------------------- sending
+    def send(self, dst: int, raw: bytes):
+        """Queue one encoded parcel; ships the batch at the thresholds
+        (generator)."""
+        framed_len = _LEN.size + len(raw)
+        batch = self._open.get(dst)
+        if batch is None:
+            batch = self._open[dst] = _Batch(self.env.now)
+        elif batch.nbytes + framed_len > self.flush_bytes:
+            yield from self._ship(dst)
+            batch = self._open[dst] = _Batch(self.env.now)
+        batch.chunks.append(_LEN.pack(len(raw)))
+        batch.chunks.append(raw)
+        batch.nbytes += framed_len
+        self.parcels_batched += 1
+        if (len(batch.chunks) // 2 >= self.flush_count
+                or batch.nbytes >= self.flush_bytes):
+            yield from self._ship(dst)
+
+    def _ship(self, dst: int):
+        batch = self._open.pop(dst, None)
+        if batch is None or not batch.chunks:
+            return
+        yield from self.inner.send(dst, b"".join(batch.chunks))
+        self.batches_sent += 1
+
+    def flush(self, dst: Optional[int] = None):
+        """Ship open batches now (generator) — call at phase boundaries."""
+        targets = [dst] if dst is not None else list(self._open)
+        for d in targets:
+            yield from self._ship(d)
+
+    def _flush_stale(self):
+        now = self.env.now
+        stale = [d for d, b in self._open.items()
+                 if now - b.opened_at >= self.max_delay_ns]
+        for d in stale:
+            yield from self._ship(d)
+
+    # ------------------------------------------------------------- receiving
+    def poll(self):
+        """Return the next parcel, unpacking inner batches (generator)."""
+        yield from self._flush_stale()
+        if self._ready:
+            return self._ready.popleft()
+        blob = yield from self.inner.poll()
+        if blob is None:
+            return None
+        offset = 0
+        records = 0
+        while offset < len(blob):
+            (length,) = _LEN.unpack_from(blob, offset)
+            offset += _LEN.size
+            self._ready.append(blob[offset:offset + length])
+            offset += length
+            records += 1
+        if offset != len(blob):
+            raise SimulationError("corrupt coalesced batch")
+        # unpack cost: copy the batch out + parse each frame header
+        lib = getattr(self.inner, "ph", None) or getattr(self.inner, "comm")
+        yield lib.env.timeout(lib.memory.memcpy_cost_ns(len(blob))
+                              + _PARSE_NS * records)
+        return self._ready.popleft() if self._ready else None

@@ -1,0 +1,147 @@
+"""A network-managed global address space over Photon.
+
+Mirrors the companion HPDC'16 design: the runtime allocates a symmetric
+heap on every rank, registers it with the NIC once, and translates global
+addresses to (rank, local offset) in a block-cyclic layout.  ``memput`` /
+``memget`` are then *pure one-sided* Photon operations — the home rank's
+CPU is never involved, which is precisely what Photon's buffer-management
+API enables for runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..photon.api import Photon, PhotonBuffer
+from ..sim.core import SimulationError
+
+__all__ = ["GlobalAddressSpace", "gas_allocate"]
+
+
+@dataclass(frozen=True)
+class _Segment:
+    rank: int
+    buffer: PhotonBuffer
+
+
+class GlobalAddressSpace:
+    """One rank's handle on a block-cyclic global heap."""
+
+    def __init__(self, photon: Photon, segments: List[_Segment],
+                 block_size: int, total: int):
+        self.ph = photon
+        self.rank = photon.rank
+        self.segments = segments
+        self.block_size = block_size
+        self.total = total
+        self.n = len(segments)
+
+    # ------------------------------------------------------------- addressing
+    def locate(self, gaddr: int, length: int = 1) -> Tuple[int, int]:
+        """Global address → (home rank, local address).
+
+        ``[gaddr, gaddr+length)`` must not straddle a block boundary —
+        split transfers at block granularity (``block_span`` helps).
+        """
+        if not 0 <= gaddr < self.total:
+            raise SimulationError(f"global address {gaddr} out of range")
+        block = gaddr // self.block_size
+        offset = gaddr % self.block_size
+        if offset + length > self.block_size:
+            raise SimulationError(
+                f"access [{gaddr}, {gaddr + length}) straddles a "
+                f"{self.block_size}-byte block")
+        home = block % self.n
+        local_block = block // self.n
+        seg = self.segments[home]
+        return home, seg.buffer.addr + local_block * self.block_size + offset
+
+    def block_span(self, gaddr: int, length: int):
+        """Split [gaddr, gaddr+length) into per-block pieces."""
+        out = []
+        while length > 0:
+            room = self.block_size - (gaddr % self.block_size)
+            take = min(room, length)
+            out.append((gaddr, take))
+            gaddr += take
+            length -= take
+        return out
+
+    def home_of(self, gaddr: int) -> int:
+        return (gaddr // self.block_size) % self.n
+
+    # ------------------------------------------------------------- data ops
+    def memput(self, gaddr: int, data: bytes, scratch_addr: int):
+        """Write ``data`` at a global address (generator; one-sided).
+
+        ``scratch_addr``: registered local staging the bytes are sent
+        from (caller-owned; reusable after return).
+        """
+        self.ph.memory.write(scratch_addr, data)
+        yield self.ph.env.timeout(self.ph.memory.memcpy_cost_ns(len(data)))
+        rids = []
+        cursor = 0
+        for piece_addr, take in self.block_span(gaddr, len(data)):
+            home, laddr = self.locate(piece_addr, take)
+            rkey = self.segments[home].buffer.rkey
+            rid = yield from self.ph.post_os_put(
+                home, scratch_addr + cursor, take, laddr, rkey)
+            rids.append(rid)
+            cursor += take
+        yield from self.ph.wait_all(rids)
+        for rid in rids:
+            self.ph.free_request(rid)
+
+    def memget(self, gaddr: int, length: int, scratch_addr: int):
+        """Read ``length`` bytes from a global address (generator → bytes)."""
+        rids = []
+        cursor = 0
+        for piece_addr, take in self.block_span(gaddr, length):
+            home, laddr = self.locate(piece_addr, take)
+            rkey = self.segments[home].buffer.rkey
+            rid = yield from self.ph.post_os_get(
+                home, scratch_addr + cursor, take, laddr, rkey)
+            rids.append(rid)
+            cursor += take
+        yield from self.ph.wait_all(rids)
+        for rid in rids:
+            self.ph.free_request(rid)
+        data = self.ph.memory.read(scratch_addr, length)
+        yield self.ph.env.timeout(self.ph.memory.memcpy_cost_ns(length))
+        return data
+
+    def memput_pwc(self, gaddr: int, data: bytes, scratch_addr: int,
+                   remote_cid: int):
+        """Put that also raises a completion at the *home* rank (generator).
+
+        This is the runtime pattern the PWC interface exists for: deliver
+        data into the global heap and notify the owner in one operation.
+        """
+        if len(data) > self.block_size - gaddr % self.block_size:
+            raise SimulationError("memput_pwc must stay within one block")
+        self.ph.memory.write(scratch_addr, data)
+        yield self.ph.env.timeout(self.ph.memory.memcpy_cost_ns(len(data)))
+        home, laddr = self.locate(gaddr, len(data))
+        rkey = self.segments[home].buffer.rkey
+        yield from self.ph.put_pwc(home, scratch_addr, len(data), laddr,
+                                   rkey, remote_cid=remote_cid)
+
+
+def gas_allocate(endpoints: List[Photon], total: int,
+                 block_size: int = 4096) -> List[GlobalAddressSpace]:
+    """Collectively allocate a global heap of ``total`` bytes.
+
+    Runs at t=0; the (addr, rkey) exchange models the runtime's startup
+    ``photon_exchange``.
+    """
+    n = len(endpoints)
+    if total <= 0 or block_size <= 0:
+        raise SimulationError("total and block_size must be positive")
+    nblocks = -(-total // block_size)
+    per_rank_blocks = -(-nblocks // n)
+    seg_size = per_rank_blocks * block_size
+    segments = [_Segment(rank=ep.rank, buffer=ep.buffer(seg_size))
+                for ep in endpoints]
+    return [GlobalAddressSpace(ep, segments, block_size, total)
+            for ep in endpoints]

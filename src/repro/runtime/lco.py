@@ -1,0 +1,107 @@
+"""Local control objects: futures and and-gates (HPX-5 LCO analogues).
+
+LCOs synchronise parcel handlers with rank-local code: a handler sets a
+future; the main program waits on it while pumping the runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..sim.core import SimulationError
+
+__all__ = ["Future", "AndGate", "ReduceLCO"]
+
+
+class Future:
+    """Single-assignment value."""
+
+    __slots__ = ("_value", "_set")
+
+    def __init__(self):
+        self._value: Any = None
+        self._set = False
+
+    @property
+    def ready(self) -> bool:
+        return self._set
+
+    def set(self, value: Any = None) -> None:
+        if self._set:
+            raise SimulationError("future set twice")
+        self._value = value
+        self._set = True
+
+    def get(self) -> Any:
+        if not self._set:
+            raise SimulationError("future read before set")
+        return self._value
+
+    def wait(self, rt, timeout_ns: Optional[int] = None):
+        """Pump the runtime until the future is set (generator → value)."""
+        ok = yield from rt.process_until(lambda: self._set, timeout_ns)
+        if not ok:
+            raise SimulationError("future wait timed out")
+        return self._value
+
+
+class AndGate:
+    """Counts down from N; ready when all inputs arrived."""
+
+    __slots__ = ("_remaining",)
+
+    def __init__(self, count: int):
+        if count < 0:
+            raise SimulationError("AndGate needs count >= 0")
+        self._remaining = count
+
+    @property
+    def ready(self) -> bool:
+        return self._remaining == 0
+
+    @property
+    def remaining(self) -> int:
+        return self._remaining
+
+    def arrive(self, n: int = 1) -> None:
+        if self._remaining < n:
+            raise SimulationError("AndGate over-arrived")
+        self._remaining -= n
+
+    def wait(self, rt, timeout_ns: Optional[int] = None):
+        """Pump the runtime until all inputs arrived (generator)."""
+        ok = yield from rt.process_until(lambda: self._remaining == 0,
+                                         timeout_ns)
+        if not ok:
+            raise SimulationError("AndGate wait timed out")
+
+
+class ReduceLCO:
+    """Accumulates N contributions with a binary operator."""
+
+    __slots__ = ("_remaining", "_op", "_value")
+
+    def __init__(self, count: int, op, initial: Any):
+        if count < 1:
+            raise SimulationError("ReduceLCO needs count >= 1")
+        self._remaining = count
+        self._op = op
+        self._value = initial
+
+    @property
+    def ready(self) -> bool:
+        return self._remaining == 0
+
+    def contribute(self, value: Any) -> None:
+        if self._remaining == 0:
+            raise SimulationError("ReduceLCO over-contributed")
+        self._value = self._op(self._value, value)
+        self._remaining -= 1
+
+    def wait(self, rt, timeout_ns: Optional[int] = None):
+        """Pump the runtime until reduced (generator → value)."""
+        ok = yield from rt.process_until(lambda: self._remaining == 0,
+                                         timeout_ns)
+        if not ok:
+            raise SimulationError("ReduceLCO wait timed out")
+        return self._value

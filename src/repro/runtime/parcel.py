@@ -1,0 +1,41 @@
+"""Parcels: the runtime's unit of remote work (HPX-5 terminology).
+
+A parcel is an action id, the source rank, and an opaque payload.  The
+wire format is a 24-byte header followed by the payload bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..sim.core import SimulationError
+
+__all__ = ["Parcel", "PARCEL_HDR_SIZE"]
+
+_HDR = struct.Struct("<qqq")  # action id, src, payload size
+PARCEL_HDR_SIZE = _HDR.size
+
+
+@dataclass(frozen=True)
+class Parcel:
+    """One unit of remote work."""
+
+    action: int
+    src: int
+    payload: bytes
+
+    def encode(self) -> bytes:
+        return _HDR.pack(self.action, self.src, len(self.payload)) + self.payload
+
+    @staticmethod
+    def decode(raw: bytes) -> "Parcel":
+        if len(raw) < PARCEL_HDR_SIZE:
+            raise SimulationError(f"short parcel: {len(raw)} bytes")
+        action, src, size = _HDR.unpack(raw[:PARCEL_HDR_SIZE])
+        payload = raw[PARCEL_HDR_SIZE:PARCEL_HDR_SIZE + size]
+        if len(payload) != size:
+            raise SimulationError(
+                f"parcel payload truncated: header says {size}, "
+                f"got {len(payload)}")
+        return Parcel(action=action, src=src, payload=payload)

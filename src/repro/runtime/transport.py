@@ -1,0 +1,189 @@
+"""Runtime network transports: Photon-PWC vs MPI-ISIR.
+
+This is the integration point the paper's runtime experiments measure:
+the same parcel traffic carried by
+
+- :class:`PhotonTransport` (PWC): small parcels ride an eager ledger write
+  and surface via completion probes — no matching, no preposted receives;
+  large parcels use the rendezvous buffer-advertisement protocol.
+- :class:`MpiTransport` (ISIR — "irecv/isend" as in HPX-5's MPI network):
+  a window of wildcard irecvs is preposted; parcels arrive through the
+  tag-matching engine with its bounce-buffer copies; completed receives
+  are reaped and reposted.
+
+Both expose the same two generators: ``send(dst, raw)`` and ``poll() ->
+raw | None``, so the scheduler and the applications are transport-blind.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+from ..minimpi.comm import Comm
+from ..minimpi.protocol import MPIRequest
+from ..photon.api import Photon
+from ..sim.core import SimulationError
+
+__all__ = ["PhotonTransport", "MpiTransport", "PARCEL_TAG"]
+
+#: reserved tag/cid space for parcel traffic
+PARCEL_TAG = (1 << 50) + 7
+
+
+class PhotonTransport:
+    """Parcels over Photon PWC (eager) + rendezvous (large)."""
+
+    def __init__(self, photon: Photon, max_parcel: int = 1 << 20,
+                 scratch_slots: int = 8):
+        self.ph = photon
+        self.rank = photon.rank
+        self.max_parcel = max_parcel
+        # staging ring for rendezvous-size parcels (send side), plus one
+        # landing buffer (recv side)
+        self._send_slots = [photon.buffer(max_parcel)
+                            for _ in range(scratch_slots)]
+        #: rendezvous request still owning each staging slot (pipelining:
+        #: we only block when a slot must be reused)
+        self._slot_rids: List[Optional[int]] = [None] * scratch_slots
+        self._send_cursor = 0
+        #: landing ring: concurrent inbound rendezvous fetches
+        self._landings = [photon.buffer(max_parcel)
+                          for _ in range(scratch_slots)]
+        self._free_landings = list(range(scratch_slots))
+        #: in-flight fetches: (request id, landing index, RecvInfo)
+        self._fetches: deque = deque()
+
+    def send(self, dst: int, raw: bytes):
+        """Ship one encoded parcel (generator)."""
+        if len(raw) > self.max_parcel:
+            raise SimulationError(
+                f"parcel of {len(raw)}B exceeds transport max "
+                f"{self.max_parcel}B")
+        if len(raw) <= self.ph.config.eager_limit:
+            yield from self.ph.send_pwc(dst, raw, remote_cid=PARCEL_TAG)
+        else:
+            idx = self._send_cursor
+            self._send_cursor = (self._send_cursor + 1) % len(self._send_slots)
+            old = self._slot_rids[idx]
+            if old is not None:
+                # slot reuse: the prior advertisement must have been fetched
+                yield from self.ph.wait(old)
+                self.ph.free_request(old)
+            slot = self._send_slots[idx]
+            self.ph.memory.write(slot.addr, raw)
+            yield self.ph.env.timeout(
+                self.ph.memory.memcpy_cost_ns(len(raw)))
+            rid = yield from self.ph.send_rdma(dst, slot.addr, len(raw),
+                                               tag=PARCEL_TAG)
+            self._slot_rids[idx] = rid
+
+    def poll(self):
+        """One progress pass; returns an encoded parcel or None (generator).
+
+        Large parcels arrive as rendezvous advertisements; fetches are
+        issued concurrently into the landing ring (pipelined, like an
+        irecv window) and completed ones are handed out in issue order.
+        """
+        got = yield from self.ph.probe_message(
+            lambda s, c: c == PARCEL_TAG)
+        if got is not None:
+            return got[2]
+        # launch fetches for any newly advertised rendezvous parcels
+        while self._free_landings:
+            info = self.ph._match_info(src=-1, tag=PARCEL_TAG)
+            if info is None:
+                break
+            idx = self._free_landings.pop()
+            rid = yield from self.ph.post_os_get(
+                info.src, self._landings[idx].addr, info.size,
+                info.addr, info.rkey)
+            self._fetches.append((rid, idx, info))
+        # hand out the oldest completed fetch
+        if self._fetches and self.ph.test(self._fetches[0][0]):
+            rid, idx, info = self._fetches.popleft()
+            self.ph.free_request(rid)
+            raw = self.ph.memory.read(self._landings[idx].addr, info.size)
+            yield self.ph.env.timeout(
+                self.ph.memory.memcpy_cost_ns(info.size))
+            self._free_landings.append(idx)
+            yield from self._send_fin(info)
+            return raw
+        return None
+
+    def _send_fin(self, info):
+        """Complete the sender's rendezvous request (generator)."""
+        from ..photon.wire import FinEntry
+        peer = self.ph._peer(info.src)
+        ring = peer.remote["fin"]
+        fin = FinEntry(seq=ring.produced + 1, req=info.req)
+        yield from self.ph._post_ring_entry(peer, "fin", fin.pack())
+
+
+class MpiTransport:
+    """Parcels over minimpi isend + a preposted wildcard-irecv window."""
+
+    def __init__(self, comm: Comm, max_parcel: int = 1 << 20,
+                 window: int = 16):
+        self.comm = comm
+        self.rank = comm.rank
+        self.max_parcel = max_parcel
+        self.window = window
+        self._recv_bufs: List[int] = [
+            comm.memory.alloc(max_parcel) for _ in range(window)]
+        self._recv_reqs: List[Optional[MPIRequest]] = [None] * window
+        self._send_slots = [comm.memory.alloc(max_parcel) for _ in range(8)]
+        self._send_cursor = 0
+        self._inflight: List[MPIRequest] = []
+        self._primed = False
+
+    def _prime(self):
+        """Post the initial wildcard receive window (generator)."""
+        from ..minimpi.status import ANY_SOURCE
+        for i in range(self.window):
+            req = yield from self.comm.irecv(self._recv_bufs[i],
+                                             self.max_parcel,
+                                             src=ANY_SOURCE, tag=PARCEL_TAG)
+            self._recv_reqs[i] = req
+        self._primed = True
+
+    def send(self, dst: int, raw: bytes):
+        """Ship one encoded parcel (generator)."""
+        if not self._primed:
+            yield from self._prime()
+        if len(raw) > self.max_parcel:
+            raise SimulationError(
+                f"parcel of {len(raw)}B exceeds transport max "
+                f"{self.max_parcel}B")
+        slot = self._send_slots[self._send_cursor]
+        self._send_cursor = (self._send_cursor + 1) % len(self._send_slots)
+        self.comm.memory.write(slot, raw)
+        yield self.comm.env.timeout(
+            self.comm.memory.memcpy_cost_ns(len(raw)))
+        req = yield from self.comm.isend(slot, len(raw), dst, PARCEL_TAG)
+        self._inflight.append(req)
+        # reap finished sends opportunistically
+        self._inflight = [r for r in self._inflight if not r.done]
+        if len(self._inflight) >= len(self._send_slots):
+            yield from self.comm.waitall(list(self._inflight))
+            self._inflight.clear()
+
+    def poll(self):
+        """One progress pass; returns an encoded parcel or None (generator)."""
+        from ..minimpi.status import ANY_SOURCE
+        if not self._primed:
+            yield from self._prime()
+        yield from self.comm.engine._progress_once()
+        for i, req in enumerate(self._recv_reqs):
+            if req is not None and req.done:
+                raw = self.comm.memory.read(self._recv_bufs[i],
+                                            req.status.count)
+                yield self.comm.env.timeout(
+                    self.comm.memory.memcpy_cost_ns(req.status.count))
+                self.comm.engine.live_requests.pop(req.rid, None)
+                new_req = yield from self.comm.irecv(
+                    self._recv_bufs[i], self.max_parcel,
+                    src=ANY_SOURCE, tag=PARCEL_TAG)
+                self._recv_reqs[i] = new_req
+                return raw
+        return None

@@ -1,0 +1,36 @@
+"""Deterministic discrete-event simulation kernel used by every substrate."""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import Resource, Signal, Store
+from .rng import RngRegistry, stream
+from .trace import Counters, Tracer, TraceRecord
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "Resource",
+    "Signal",
+    "Store",
+    "RngRegistry",
+    "stream",
+    "Counters",
+    "Tracer",
+    "TraceRecord",
+]

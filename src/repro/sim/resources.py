@@ -1,0 +1,173 @@
+"""Shared-resource primitives for simulated entities.
+
+Built on the :mod:`repro.sim.core` kernel:
+
+- :class:`Store` — an unbounded/bounded FIFO of Python objects with
+  event-returning ``put``/``get`` (models queues: work queues, completion
+  queues, switch ports, DMA request rings).
+- :class:`Resource` — a counting semaphore (models DMA engines, link
+  serialisation slots).
+- :class:`Signal` — a re-armable broadcast event (models doorbells and
+  "work available" wakeups for polling loops).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .core import Environment, Event, SimulationError
+
+__all__ = ["Store", "Resource", "Signal"]
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._trigger()
+
+
+class StoreGet(Event):
+    __slots__ = ()
+
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        store._get_queue.append(self)
+        store._trigger()
+
+
+class Store:
+    """FIFO object store with blocking put/get semantics.
+
+    ``capacity`` bounds the number of buffered items; ``put`` on a full
+    store parks the producer until a consumer drains an item (backpressure —
+    exactly how we model finite hardware queues such as QP send queues and
+    ledger rings).
+    """
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise SimulationError("Store capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._put_queue: Deque[StorePut] = deque()
+        self._get_queue: Deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; returns an event that fires once accepted."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Remove the oldest item; returns an event whose value is the item."""
+        return StoreGet(self)
+
+    def try_get(self) -> Any:
+        """Non-blocking get: returns an item or None (for polling models)."""
+        if self.items and not self._get_queue:
+            item = self.items.popleft()
+            self._trigger()
+            return item
+        return None
+
+    def _trigger(self) -> None:
+        # Admit pending puts while there is room.
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._put_queue and not self.full:
+                put = self._put_queue.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            while self._get_queue and self.items:
+                get = self._get_queue.popleft()
+                get.succeed(self.items.popleft())
+                progressed = True
+
+
+class ResourceRequest(Event):
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._queue.append(self)
+        resource._trigger()
+
+    def release(self) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """Counting semaphore with FIFO grant order.
+
+    ``capacity`` concurrent holders; ``request()`` returns an event that
+    fires when the slot is granted, and the returned request object's
+    ``release()`` frees it.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise SimulationError("Resource capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.users: list = []
+        self._queue: Deque[ResourceRequest] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return len(self.users)
+
+    def request(self) -> ResourceRequest:
+        return ResourceRequest(self)
+
+    def release(self, request: ResourceRequest) -> None:
+        try:
+            self.users.remove(request)
+        except ValueError:
+            raise SimulationError("releasing a request that holds no slot")
+        self._trigger()
+
+    def _trigger(self) -> None:
+        while self._queue and len(self.users) < self.capacity:
+            req = self._queue.popleft()
+            self.users.append(req)
+            req.succeed(req)
+
+
+class Signal:
+    """A re-armable broadcast wakeup.
+
+    ``wait()`` returns an event; ``fire(value)`` triggers *all* waiters
+    registered so far and re-arms.  Used for doorbells: many pollers can
+    sleep on the signal and all wake when work arrives.
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._waiters: list = []
+
+    def wait(self) -> Event:
+        ev = Event(self.env)
+        self._waiters.append(ev)
+        return ev
+
+    def fire(self, value: Any = None) -> int:
+        """Wake all current waiters; returns how many were woken."""
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            ev.succeed(value)
+        return len(waiters)

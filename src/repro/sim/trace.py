@@ -1,0 +1,70 @@
+"""Lightweight event tracing and counters.
+
+A :class:`Tracer` collects ``(time, category, fields)`` records and a
+:class:`Counters` object accumulates named integers (bytes on the wire,
+packets, cache hits, ...).  Both are cheap no-ops unless enabled, so model
+code can instrument unconditionally.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Tracer", "Counters", "TraceRecord"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time: int
+    category: str
+    fields: Tuple[Tuple[str, Any], ...]
+
+    def as_dict(self) -> Dict[str, Any]:
+        d = dict(self.fields)
+        d["time"] = self.time
+        d["category"] = self.category
+        return d
+
+
+class Tracer:
+    """Collects trace records when enabled; filter by category prefix."""
+
+    def __init__(self, enabled: bool = False,
+                 categories: Optional[List[str]] = None):
+        self.enabled = enabled
+        self.categories = tuple(categories) if categories else None
+        self.records: List[TraceRecord] = []
+
+    def log(self, time: int, category: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        if self.categories and not category.startswith(self.categories):
+            return
+        self.records.append(TraceRecord(time, category, tuple(fields.items())))
+
+    def select(self, category_prefix: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.category.startswith(category_prefix)]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+@dataclass
+class Counters:
+    """Named integer accumulators shared across a subsystem."""
+
+    values: Counter = field(default_factory=Counter)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self.values[name] += amount
+
+    def get(self, name: str) -> int:
+        return self.values.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.values)
+
+    def clear(self) -> None:
+        self.values.clear()

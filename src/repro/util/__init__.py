@@ -1,0 +1,28 @@
+"""Shared utilities: units, statistics, and table formatting."""
+
+from .fmt import format_series, format_size, format_table
+from .stats import Summary, mean, median, percentile, stddev, summarize
+from .units import (
+    GiB,
+    KiB,
+    MiB,
+    MS,
+    NS,
+    S,
+    US,
+    gbps_to_bytes_per_ns,
+    ms,
+    s,
+    serialization_ns,
+    to_gbps,
+    to_us,
+    us,
+)
+
+__all__ = [
+    "format_series", "format_size", "format_table",
+    "Summary", "mean", "median", "percentile", "stddev", "summarize",
+    "GiB", "KiB", "MiB", "MS", "NS", "S", "US",
+    "gbps_to_bytes_per_ns", "ms", "s", "serialization_ns",
+    "to_gbps", "to_us", "us",
+]

@@ -1,0 +1,78 @@
+"""Fixed-width table and size formatting for benchmark output.
+
+The bench harness prints the same row/series structure the paper's tables
+and figures report; these helpers keep that output aligned and stable so
+EXPERIMENTS.md diffs are meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+__all__ = ["format_table", "format_size", "format_series"]
+
+
+def format_size(nbytes: int) -> str:
+    """Human size: 512B, 4KiB, 2MiB (exact powers keep integer labels)."""
+    if nbytes < 1024:
+        return f"{nbytes}B"
+    for unit, scale in (("KiB", 1024), ("MiB", 1024 ** 2), ("GiB", 1024 ** 3)):
+        if nbytes < scale * 1024 or unit == "GiB":
+            value = nbytes / scale
+            if value == int(value):
+                return f"{int(value)}{unit}"
+            return f"{value:.1f}{unit}"
+    raise AssertionError("unreachable")
+
+
+def _cell(x: Any) -> str:
+    if isinstance(x, float):
+        if x == 0:
+            return "0"
+        if abs(x) >= 1000:
+            return f"{x:.0f}"
+        if abs(x) >= 10:
+            return f"{x:.2f}"
+        return f"{x:.3f}"
+    return str(x)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str = "") -> str:
+    """Render an aligned fixed-width table (first column left-aligned)."""
+    cells: List[List[str]] = [[_cell(x) for x in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def fmt_row(row: Sequence[str]) -> str:
+        parts = [row[0].ljust(widths[0])]
+        parts += [c.rjust(widths[i + 1]) for i, c in enumerate(row[1:])]
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[Any], ys: Sequence[float],
+                  width: int = 40) -> str:
+    """Render a labelled series as an ASCII bar sparkline (figure stand-in)."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys length mismatch")
+    if not ys:
+        return f"{name}: (empty)"
+    top = max(ys) or 1.0
+    lines = [f"{name}:"]
+    label_w = max(len(_cell(x)) for x in xs)
+    for x, y in zip(xs, ys):
+        bar = "#" * max(1, round(width * y / top)) if y > 0 else ""
+        lines.append(f"  {_cell(x).rjust(label_w)} | {bar} {_cell(float(y))}")
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Small statistics helpers used by the bench harness and tests."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+__all__ = ["mean", "median", "percentile", "stddev", "summarize", "Summary"]
+
+
+def mean(xs: Sequence[float]) -> float:
+    if not xs:
+        raise ValueError("mean of empty sequence")
+    return sum(xs) / len(xs)
+
+
+def median(xs: Sequence[float]) -> float:
+    return percentile(xs, 50.0)
+
+
+def percentile(xs: Sequence[float], p: float) -> float:
+    """Linear-interpolation percentile, p in [0, 100]."""
+    if not xs:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile {p} out of range")
+    ordered = sorted(xs)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (p / 100.0) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return float(ordered[lo])
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def stddev(xs: Sequence[float]) -> float:
+    """Sample standard deviation (0.0 for fewer than two points)."""
+    if len(xs) < 2:
+        return 0.0
+    m = mean(xs)
+    return math.sqrt(sum((x - m) ** 2 for x in xs) / (len(xs) - 1))
+
+
+class Summary:
+    """Five-number-ish summary of a sample, with pretty repr."""
+
+    __slots__ = ("n", "mean", "median", "p95", "min", "max", "stddev")
+
+    def __init__(self, xs: Iterable[float]):
+        data: List[float] = [float(x) for x in xs]
+        if not data:
+            raise ValueError("Summary of empty sample")
+        self.n = len(data)
+        self.mean = mean(data)
+        self.median = median(data)
+        self.p95 = percentile(data, 95.0)
+        self.min = min(data)
+        self.max = max(data)
+        self.stddev = stddev(data)
+
+    def __repr__(self) -> str:
+        return (f"Summary(n={self.n}, mean={self.mean:.3f}, "
+                f"median={self.median:.3f}, p95={self.p95:.3f})")
+
+
+def summarize(xs: Iterable[float]) -> Summary:
+    return Summary(xs)

@@ -1,0 +1,69 @@
+"""Unit helpers: time is integer nanoseconds, sizes are bytes.
+
+All model arithmetic happens in these units; the helpers below convert
+human-friendly magnitudes (microseconds, Gbit/s, MiB) into them and back.
+Durations derived from bandwidths are rounded *up* to the next nanosecond so
+that zero-cost transfers are impossible.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "NS", "US", "MS", "S",
+    "KiB", "MiB", "GiB",
+    "us", "ms", "s",
+    "gbps_to_bytes_per_ns", "serialization_ns", "to_us", "to_gbps",
+]
+
+# -- time ------------------------------------------------------------------
+NS = 1
+US = 1_000
+MS = 1_000_000
+S = 1_000_000_000
+
+# -- sizes -----------------------------------------------------------------
+KiB = 1024
+MiB = 1024 * 1024
+GiB = 1024 * 1024 * 1024
+
+
+def us(x: float) -> int:
+    """Microseconds → integer nanoseconds."""
+    return round(x * US)
+
+
+def ms(x: float) -> int:
+    """Milliseconds → integer nanoseconds."""
+    return round(x * MS)
+
+
+def s(x: float) -> int:
+    """Seconds → integer nanoseconds."""
+    return round(x * S)
+
+
+def gbps_to_bytes_per_ns(gbps: float) -> float:
+    """Gbit/s → bytes per nanosecond (1 Gbit/s = 0.125 B/ns)."""
+    return gbps / 8.0
+
+
+def serialization_ns(nbytes: int, gbps: float) -> int:
+    """Time to clock ``nbytes`` onto a ``gbps`` pipe, rounded up, >= 1 ns
+    for any non-empty payload."""
+    if nbytes <= 0:
+        return 0
+    return max(1, math.ceil(nbytes / gbps_to_bytes_per_ns(gbps)))
+
+
+def to_us(ns_value: int) -> float:
+    """Integer nanoseconds → float microseconds (for reporting)."""
+    return ns_value / US
+
+
+def to_gbps(nbytes: int, ns_value: int) -> float:
+    """Achieved rate for ``nbytes`` over ``ns_value`` ns, in Gbit/s."""
+    if ns_value <= 0:
+        return float("inf")
+    return (nbytes * 8.0) / ns_value

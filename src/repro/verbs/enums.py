@@ -1,0 +1,54 @@
+"""Enumerations mirroring the ibverbs surface the middleware uses."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Opcode", "WCOpcode", "WCStatus", "Access", "QPState"]
+
+
+class Opcode(enum.Enum):
+    """Send work-request opcodes."""
+
+    SEND = "send"
+    RDMA_WRITE = "rdma_write"
+    RDMA_WRITE_WITH_IMM = "rdma_write_with_imm"
+    RDMA_READ = "rdma_read"
+    ATOMIC_FETCH_ADD = "atomic_fetch_add"
+    ATOMIC_CMP_SWAP = "atomic_cmp_swap"
+
+
+class WCOpcode(enum.Enum):
+    """Completion opcodes (what the WC describes)."""
+
+    SEND = "send"
+    RDMA_WRITE = "rdma_write"
+    RDMA_READ = "rdma_read"
+    ATOMIC = "atomic"
+    RECV = "recv"
+    RECV_RDMA_WITH_IMM = "recv_rdma_with_imm"
+
+
+class WCStatus(enum.Enum):
+    SUCCESS = "success"
+    LOC_LEN_ERR = "local_length_error"
+    REM_ACCESS_ERR = "remote_access_error"
+    CQ_OVERRUN = "cq_overrun"
+
+
+class Access(enum.Flag):
+    """Memory-region access permissions."""
+
+    NONE = 0
+    LOCAL_WRITE = enum.auto()
+    REMOTE_WRITE = enum.auto()
+    REMOTE_READ = enum.auto()
+    REMOTE_ATOMIC = enum.auto()
+    #: everything — convenient for middleware-managed buffers
+    ALL = LOCAL_WRITE | REMOTE_WRITE | REMOTE_READ | REMOTE_ATOMIC
+
+
+class QPState(enum.Enum):
+    RESET = "reset"
+    READY = "ready"  # collapsed INIT/RTR/RTS — the model connects in one step
+    ERROR = "error"

@@ -1,0 +1,40 @@
+"""Verbs-layer error types.
+
+Programming errors (bad arguments, exceeding queue depths, protection
+violations with the simulator's global knowledge) raise immediately — the
+simulated middleware is expected never to trigger them, so an exception is
+a bug in the model or in the layer above, not a runtime condition to code
+around.
+"""
+
+from __future__ import annotations
+
+from ..sim.core import SimulationError
+
+__all__ = [
+    "VerbsError",
+    "ProtectionError",
+    "QueueFullError",
+    "BadWorkRequest",
+    "NotConnected",
+]
+
+
+class VerbsError(SimulationError):
+    """Base class for verbs-layer failures."""
+
+
+class ProtectionError(VerbsError):
+    """Access outside a registered region or without the needed permission."""
+
+
+class QueueFullError(VerbsError):
+    """Posting beyond max_send_wr / max_recv_wr, or CQ overrun."""
+
+
+class BadWorkRequest(VerbsError):
+    """Malformed work request (missing remote addr, oversized inline, ...)."""
+
+
+class NotConnected(VerbsError):
+    """Operation on a queue pair that has no connected peer."""

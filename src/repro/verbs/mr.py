@@ -1,0 +1,74 @@
+"""Memory regions: registered windows of a rank's memory.
+
+A :class:`MemoryRegion` grants the NIC access to ``[addr, addr+length)``
+with the permissions in ``access``.  Local operations are authorised by the
+*lkey*, remote operations by the *rkey* — middleware exchanges rkeys out of
+band exactly as on real hardware (Photon's buffer-metadata exchange and
+minimpi's rendezvous both carry them).
+"""
+
+from __future__ import annotations
+
+from .enums import Access
+from .errors import ProtectionError
+
+__all__ = ["MemoryRegion"]
+
+
+class MemoryRegion:
+    """One registered region (created via ``Context.reg_mr``)."""
+
+    __slots__ = ("context", "addr", "length", "access", "lkey", "rkey",
+                 "_valid")
+
+    def __init__(self, context, addr: int, length: int, access: Access,
+                 lkey: int, rkey: int):
+        self.context = context
+        self.addr = addr
+        self.length = length
+        self.access = access
+        self.lkey = lkey
+        self.rkey = rkey
+        self._valid = True
+
+    @property
+    def valid(self) -> bool:
+        return self._valid
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.length
+
+    def invalidate(self) -> None:
+        self._valid = False
+
+    def covers(self, addr: int, length: int) -> bool:
+        return self.addr <= addr and addr + length <= self.end
+
+    def check(self, addr: int, length: int,
+              need: Access = Access.NONE,
+              what: str = "access") -> None:
+        """Raise ProtectionError unless the range+permission is allowed."""
+        if not self._valid:
+            raise ProtectionError(f"{what} through invalidated MR {self.rkey}")
+        if length < 0:
+            raise ProtectionError(f"{what}: negative length {length}")
+        if not self.covers(addr, length):
+            raise ProtectionError(
+                f"{what}: [{addr}, {addr + length}) outside MR "
+                f"[{self.addr}, {self.end})")
+        if need and not (self.access & need):
+            raise ProtectionError(
+                f"{what}: MR rkey={self.rkey} lacks {need}")
+
+    def read(self, addr: int, length: int) -> bytes:
+        self.check(addr, length, Access.NONE, "local read")
+        return self.context.memory.read(addr, length)
+
+    def write(self, addr: int, data: bytes) -> None:
+        self.check(addr, len(data), Access.LOCAL_WRITE, "local write")
+        self.context.memory.write(addr, data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<MR rank={self.context.rank} [{self.addr},{self.end}) "
+                f"rkey={self.rkey}>")

@@ -1,0 +1,352 @@
+"""Reliable-connection queue pairs.
+
+A :class:`QueuePair` is connected point-to-point to a peer QP on another
+rank (or the same rank — loopback works).  It supports the work-request
+opcodes Photon and minimpi need:
+
+- ``SEND`` / posted receives with tag-free FIFO matching (RC semantics:
+  the n-th send on a QP consumes the n-th posted receive),
+- ``RDMA_WRITE`` and ``RDMA_WRITE_WITH_IMM`` (the latter consumes a receive
+  and raises a completion with 32-bit immediate data at the target),
+- ``RDMA_READ``,
+- ``ATOMIC_FETCH_ADD`` / ``ATOMIC_CMP_SWAP`` on 8-byte words.
+
+Completion semantics follow the hardware: the sender-side completion for a
+write/send fires after the (modelled) transport ack returns; reads and
+atomics complete when the response data lands.  Unsignaled work requests
+consume a send-queue slot but produce no CQE.
+
+Cost accounting: ``post_send``/``post_recv`` are zero-time bookkeeping —
+callers charge the host-CPU post overhead via :meth:`post_send_timed` (or
+charge ``NicParams.post_overhead_ns`` themselves).  The doorbell delay
+(post → NIC sees the WQE) is modelled inside ``post_send``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from ..fabric.nic import CTRL_BYTES, WireMsg
+from .cq import CompletionQueue, WorkCompletion
+from .device import Context, ProtectionDomain
+from .enums import Access, Opcode, QPState, WCOpcode, WCStatus
+from .errors import (
+    BadWorkRequest,
+    NotConnected,
+    QueueFullError,
+)
+
+__all__ = ["SendWR", "RecvWR", "QueuePair", "connect_pair"]
+
+_U64_MASK = (1 << 64) - 1
+
+
+@dataclass
+class SendWR:
+    """A send-queue work request."""
+
+    opcode: Opcode
+    wr_id: int = 0
+    #: local buffer (source for SEND/WRITE, destination for READ/ATOMIC)
+    local_addr: int = 0
+    length: int = 0
+    #: remote buffer + key (for RDMA/atomic opcodes)
+    remote_addr: int = 0
+    rkey: int = 0
+    #: 32-bit immediate for RDMA_WRITE_WITH_IMM
+    imm: Optional[int] = None
+    #: request a completion (selective signalling)
+    signaled: bool = True
+    #: carry the payload in the WQE (no DMA fetch); length must be within
+    #: NicParams.max_inline
+    inline: bool = False
+    #: atomic operands
+    compare_add: int = 0
+    swap: int = 0
+
+
+@dataclass
+class RecvWR:
+    """A receive-queue work request (landing buffer for SEND / IMM)."""
+
+    wr_id: int = 0
+    addr: int = 0
+    length: int = 0
+
+
+class QueuePair:
+    """One side of a reliable connection (see module docstring)."""
+
+    def __init__(self, context: Context, pd: ProtectionDomain,
+                 send_cq: CompletionQueue, recv_cq: CompletionQueue,
+                 qp_num: int, max_send_wr: int, max_recv_wr: int):
+        self.context = context
+        self.pd = pd
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self.qp_num = qp_num
+        self.max_send_wr = max_send_wr
+        self.max_recv_wr = max_recv_wr
+        self.state = QPState.RESET
+        self.peer: Optional["QueuePair"] = None
+        self._sq_outstanding = 0
+        self._rq: Deque[RecvWR] = deque()
+        #: messages that arrived before a receive was posted (RNR)
+        self._rnr: Deque[WireMsg] = deque()
+
+    # -- connection ------------------------------------------------------------
+    def connect(self, peer: "QueuePair") -> None:
+        if self.state is not QPState.RESET or peer.state is not QPState.RESET:
+            raise NotConnected("both QPs must be in RESET to connect")
+        self.peer = peer
+        peer.peer = self
+        self.state = peer.state = QPState.READY
+
+    @property
+    def remote_rank(self) -> int:
+        if self.peer is None:
+            raise NotConnected("QP has no peer")
+        return self.peer.context.rank
+
+    @property
+    def sq_available(self) -> int:
+        return self.max_send_wr - self._sq_outstanding
+
+    @property
+    def rq_posted(self) -> int:
+        return len(self._rq)
+
+    # -- receive side ----------------------------------------------------------
+    def post_recv(self, wr: RecvWR) -> None:
+        if self.state is not QPState.READY:
+            raise NotConnected("post_recv on unconnected QP")
+        if len(self._rq) >= self.max_recv_wr:
+            raise QueueFullError(
+                f"rank {self.context.rank} qp{self.qp_num}: RQ full "
+                f"({self.max_recv_wr})")
+        if wr.length:
+            self.pd.find_local(wr.addr, wr.length, Access.LOCAL_WRITE)
+        self._rq.append(wr)
+        if self._rnr:
+            msg = self._rnr.popleft()
+            self.context.counters.add("verbs.rnr_drains")
+            self.context.env.process(self._complete_rnr(msg),
+                                     name="qp:rnr-drain")
+
+    def _complete_rnr(self, msg: WireMsg):
+        yield self.context.env.timeout(self.context.params.nic.rnr_retry_ns)
+        self._deliver_to_rq(msg)
+
+    # -- send side ----------------------------------------------------------------
+    def post_send_timed(self, wr: SendWR):
+        """Charge the host post overhead, then post (generator)."""
+        yield self.context.env.timeout(self.context.params.nic.post_overhead_ns)
+        self.post_send(wr)
+
+    def post_send(self, wr: SendWR) -> None:
+        """Validate, account and hand the WR to the NIC (zero host time)."""
+        if self.state is not QPState.READY:
+            raise NotConnected("post_send on unconnected QP")
+        if self._sq_outstanding >= self.max_send_wr:
+            raise QueueFullError(
+                f"rank {self.context.rank} qp{self.qp_num}: SQ full "
+                f"({self.max_send_wr}); drain completions before posting")
+        nic_params = self.context.params.nic
+        if wr.inline and wr.length > nic_params.max_inline:
+            raise BadWorkRequest(
+                f"inline length {wr.length} > max_inline "
+                f"{nic_params.max_inline}")
+        if wr.imm is not None and not (0 <= wr.imm < (1 << 32)):
+            raise BadWorkRequest(f"immediate {wr.imm:#x} does not fit 32 bits")
+        msg = self._build(wr)
+        self._sq_outstanding += 1
+        self.context.counters.add("verbs.post_send")
+        env = self.context.env
+        doorbell = nic_params.doorbell_ns
+
+        def ring():
+            yield env.timeout(doorbell)
+            self.context.nic.transmit(msg)
+
+        env.process(ring(), name=f"qp{self.qp_num}:doorbell")
+
+    # -- WR -> WireMsg translation ---------------------------------------------
+    def _build(self, wr: SendWR) -> WireMsg:
+        op = wr.opcode
+        if op is Opcode.SEND:
+            return self._build_send(wr)
+        if op in (Opcode.RDMA_WRITE, Opcode.RDMA_WRITE_WITH_IMM):
+            return self._build_write(wr)
+        if op is Opcode.RDMA_READ:
+            return self._build_read(wr)
+        if op in (Opcode.ATOMIC_FETCH_ADD, Opcode.ATOMIC_CMP_SWAP):
+            return self._build_atomic(wr)
+        raise BadWorkRequest(f"unsupported opcode {op}")
+
+    def _local_fetch(self, wr: SendWR):
+        mr = self.pd.find_local(wr.local_addr, wr.length)
+        mem = self.context.memory
+        base = wr.local_addr
+        return lambda off, size: mem.read(base + off, size)
+
+    def _source_complete(self, wr: SendWR, wc_opcode: WCOpcode):
+        """Callback releasing the SQ slot and raising the source CQE."""
+
+        def done():
+            self._sq_outstanding -= 1
+            if wr.signaled:
+                self.send_cq.push(WorkCompletion(
+                    wr_id=wr.wr_id, opcode=wc_opcode, byte_len=wr.length,
+                    src_rank=self.remote_rank, qp_num=self.qp_num))
+
+        return done
+
+    def _build_send(self, wr: SendWR) -> WireMsg:
+        inline_data = None
+        fetch = None
+        if wr.length:
+            if wr.inline:
+                mr = self.pd.find_local(wr.local_addr, wr.length)
+                inline_data = self.context.memory.read(wr.local_addr, wr.length)
+            else:
+                fetch = self._local_fetch(wr)
+        peer = self.peer
+        msg = WireMsg(
+            src=self.context.rank, dst=self.remote_rank, nbytes=wr.length,
+            kind="send", fetch=fetch, inline_data=inline_data,
+            on_delivered=lambda nic, m: peer._on_send_arrival(m),
+            on_acked=self._source_complete(wr, WCOpcode.SEND),
+            ack=True, meta={"imm": wr.imm})
+        return msg
+
+    def _build_write(self, wr: SendWR) -> WireMsg:
+        target = self.peer.context
+        target.check_remote(wr.rkey, wr.remote_addr, wr.length,
+                            Access.REMOTE_WRITE)
+        inline_data = None
+        fetch = None
+        if wr.length:
+            if wr.inline:
+                self.pd.find_local(wr.local_addr, wr.length)
+                inline_data = self.context.memory.read(wr.local_addr, wr.length)
+            else:
+                fetch = self._local_fetch(wr)
+        tmem = target.memory
+        base = wr.remote_addr
+        with_imm = wr.opcode is Opcode.RDMA_WRITE_WITH_IMM
+        peer = self.peer
+        msg = WireMsg(
+            src=self.context.rank, dst=self.remote_rank, nbytes=wr.length,
+            kind="write_imm" if with_imm else "write",
+            fetch=fetch, inline_data=inline_data,
+            place=lambda off, data: tmem.write(base + off, data),
+            on_delivered=(lambda nic, m: peer._on_imm_arrival(m))
+            if with_imm else None,
+            on_acked=self._source_complete(wr, WCOpcode.RDMA_WRITE),
+            ack=True, meta={"imm": wr.imm})
+        return msg
+
+    def _build_read(self, wr: SendWR) -> WireMsg:
+        target = self.peer.context
+        target.check_remote(wr.rkey, wr.remote_addr, wr.length,
+                            Access.REMOTE_READ)
+        self.pd.find_local(wr.local_addr, wr.length, Access.LOCAL_WRITE)
+        lmem = self.context.memory
+        tmem = target.memory
+        lbase, rbase, length = wr.local_addr, wr.remote_addr, wr.length
+        complete = self._source_complete(wr, WCOpcode.RDMA_READ)
+        me = self.context.rank
+        remote = self.remote_rank
+
+        def on_request(target_nic, m):
+            resp = WireMsg(
+                src=remote, dst=me, nbytes=length, kind="read_resp",
+                fetch=lambda off, size: tmem.read(rbase + off, size),
+                place=lambda off, data: lmem.write(lbase + off, data),
+                on_delivered=lambda nic, m2: complete())
+            target_nic.respond(resp)
+
+        return WireMsg(src=me, dst=remote, nbytes=0, kind="read_req",
+                       on_delivered=on_request)
+
+    def _build_atomic(self, wr: SendWR) -> WireMsg:
+        if wr.length not in (0, 8):
+            raise BadWorkRequest("atomics operate on 8-byte words")
+        wr.length = 8
+        target = self.peer.context
+        target.check_remote(wr.rkey, wr.remote_addr, 8, Access.REMOTE_ATOMIC)
+        self.pd.find_local(wr.local_addr, 8, Access.LOCAL_WRITE)
+        lmem = self.context.memory
+        tmem = target.memory
+        lbase, rbase = wr.local_addr, wr.remote_addr
+        op = wr.opcode
+        compare_add, swap = wr.compare_add, wr.swap
+        complete = self._source_complete(wr, WCOpcode.ATOMIC)
+        me = self.context.rank
+        remote = self.remote_rank
+        atomic_ns = target.params.nic.atomic_ns
+        env = self.context.env
+
+        def on_request(target_nic, m):
+            def respond():
+                yield env.timeout(atomic_ns)
+                old = tmem.read_u64(rbase)
+                if op is Opcode.ATOMIC_FETCH_ADD:
+                    tmem.write_u64(rbase, (old + compare_add) & _U64_MASK)
+                else:  # CMP_SWAP
+                    if old == compare_add:
+                        tmem.write_u64(rbase, swap)
+                resp = WireMsg(
+                    src=remote, dst=me, nbytes=8, kind="atomic_resp",
+                    inline_data=old.to_bytes(8, "little"),
+                    place=lambda off, data: lmem.write(lbase + off, data),
+                    on_delivered=lambda nic, m2: complete())
+                target_nic.respond(resp)
+
+            env.process(respond(), name="qp:atomic")
+
+        # the atomic request carries its operands (16 bytes on the wire is
+        # folded into CTRL_BYTES)
+        return WireMsg(src=me, dst=remote, nbytes=0, kind="atomic_req",
+                       on_delivered=on_request)
+
+    # -- target-side arrivals ------------------------------------------------------
+    def _on_send_arrival(self, msg: WireMsg) -> None:
+        if self._rnr or not self._rq:
+            self.context.counters.add("verbs.rnr_stalls")
+            self._rnr.append(msg)
+            return
+        self._deliver_to_rq(msg)
+
+    def _on_imm_arrival(self, msg: WireMsg) -> None:
+        # WRITE_WITH_IMM: data already placed; consumes a receive for the
+        # notification only.
+        if self._rnr or not self._rq:
+            self.context.counters.add("verbs.rnr_stalls")
+            self._rnr.append(msg)
+            return
+        self._deliver_to_rq(msg)
+
+    def _deliver_to_rq(self, msg: WireMsg) -> None:
+        wr = self._rq.popleft()
+        status = WCStatus.SUCCESS
+        byte_len = msg.nbytes
+        if msg.kind == "send":
+            if msg.nbytes > wr.length:
+                status = WCStatus.LOC_LEN_ERR
+                byte_len = 0
+            elif msg.nbytes:
+                self.context.memory.write(wr.addr, msg.collect_rx())
+            opcode = WCOpcode.RECV
+        else:  # write_imm — payload already placed at the WR's target addr
+            opcode = WCOpcode.RECV_RDMA_WITH_IMM
+        self.recv_cq.push(WorkCompletion(
+            wr_id=wr.wr_id, opcode=opcode, status=status, byte_len=byte_len,
+            imm=msg.meta.get("imm"), src_rank=msg.src, qp_num=self.qp_num))
+
+
+def connect_pair(a: QueuePair, b: QueuePair) -> None:
+    """Convenience: connect two queue pairs."""
+    a.connect(b)

@@ -1,0 +1,213 @@
+"""Correctness tests for the mini-apps (both transports vs references)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    assemble,
+    initial_grid,
+    make_graph,
+    merge_depths,
+    partition_rows,
+    reference_depths,
+    reference_jacobi,
+    run_bfs_mpi,
+    run_bfs_photon,
+    run_gups_mpi_p2p,
+    run_gups_mpi_rma,
+    run_gups_photon,
+    run_stencil_mpi,
+    run_stencil_photon,
+)
+from repro.cluster import build_cluster
+from repro.minimpi import mpi_init, win_allocate
+from repro.photon import photon_init
+
+
+def run_programs(cl, programs):
+    procs = [cl.env.process(p) for p in programs]
+    cl.env.run(until=cl.env.all_of(procs))
+
+
+# ------------------------------------------------------------- stencil
+
+
+def test_partition_rows_covers_grid():
+    parts = partition_rows(10, 3)
+    assert [p.stop - p.start for p in parts] == [4, 3, 3]
+    assert parts[0].start == 0 and parts[-1].stop == 10
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_stencil_photon_matches_reference(n):
+    rows, cols, iters = 24, 16, 5
+    cl = build_cluster(n)
+    ph = photon_init(cl)
+    programs, results = run_stencil_photon(cl, ph, rows, cols, iters)
+    run_programs(cl, programs)
+    got = assemble(results, rows, cols, n)
+    want = reference_jacobi(initial_grid(rows, cols), iters)
+    np.testing.assert_array_equal(got, want)
+
+
+@pytest.mark.parametrize("n", [2, 4])
+def test_stencil_mpi_matches_reference(n):
+    rows, cols, iters = 24, 16, 5
+    cl = build_cluster(n)
+    comms = mpi_init(cl)
+    programs, results = run_stencil_mpi(cl, comms, rows, cols, iters)
+    run_programs(cl, programs)
+    got = assemble(results, rows, cols, n)
+    want = reference_jacobi(initial_grid(rows, cols), iters)
+    np.testing.assert_array_equal(got, want)
+
+
+def test_stencil_single_rank():
+    rows, cols, iters = 12, 12, 3
+    cl = build_cluster(1)
+    ph = photon_init(cl)
+    programs, results = run_stencil_photon(cl, ph, rows, cols, iters)
+    run_programs(cl, programs)
+    got = assemble(results, rows, cols, 1)
+    want = reference_jacobi(initial_grid(rows, cols), iters)
+    np.testing.assert_array_equal(got, want)
+
+
+def test_stencil_records_comm_time():
+    cl = build_cluster(2)
+    ph = photon_init(cl)
+    programs, results = run_stencil_photon(cl, ph, 16, 16, 4)
+    run_programs(cl, programs)
+    for res in results:
+        assert 0 < res.comm_ns < res.elapsed_ns
+
+
+# ------------------------------------------------------------- bfs
+
+
+def test_graph_generator_deterministic():
+    a = make_graph(100, 4.0, seed=3)
+    b = make_graph(100, 4.0, seed=3)
+    assert a == b
+    assert make_graph(100, 4.0, seed=4) != a
+
+
+def test_graph_is_undirected():
+    adj = make_graph(50, 3.0, seed=1)
+    for v, nbrs in adj.items():
+        for w in nbrs:
+            assert v in adj[w]
+
+
+def test_reference_depths_matches_networkx():
+    nx = pytest.importorskip("networkx")
+    adj = make_graph(200, 4.0, seed=2)
+    g = nx.Graph()
+    g.add_nodes_from(adj)
+    g.add_edges_from((u, v) for u, ns in adj.items() for v in ns)
+    want = dict(nx.single_source_shortest_path_length(g, 0))
+    got = reference_depths(adj, 0)
+    for v, d in got.items():
+        if d >= 0:
+            assert want[v] == d
+        else:
+            assert v not in want
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_bfs_photon_matches_reference(n):
+    adj = make_graph(120, 4.0, seed=5)
+    cl = build_cluster(n)
+    ph = photon_init(cl)
+    programs, results = run_bfs_photon(cl, ph, adj, root=0)
+    run_programs(cl, programs)
+    got = merge_depths(results)
+    assert got == reference_depths(adj, 0)
+
+
+@pytest.mark.parametrize("n", [2, 4])
+def test_bfs_mpi_matches_reference(n):
+    adj = make_graph(120, 4.0, seed=5)
+    cl = build_cluster(n)
+    comms = mpi_init(cl)
+    programs, results = run_bfs_mpi(cl, comms, adj, root=0)
+    run_programs(cl, programs)
+    got = merge_depths(results)
+    assert got == reference_depths(adj, 0)
+
+
+def test_bfs_transports_agree():
+    adj = make_graph(80, 3.0, seed=9)
+    cl1 = build_cluster(2)
+    ph = photon_init(cl1)
+    progs1, res1 = run_bfs_photon(cl1, ph, adj, root=3)
+    run_programs(cl1, progs1)
+    cl2 = build_cluster(2)
+    comms = mpi_init(cl2)
+    progs2, res2 = run_bfs_mpi(cl2, comms, adj, root=3)
+    run_programs(cl2, progs2)
+    assert merge_depths(res1) == merge_depths(res2)
+
+
+# ------------------------------------------------------------- gups
+
+
+def test_gups_photon_updates_land():
+    cl = build_cluster(3)
+    ph = photon_init(cl)
+    programs, results, tables = run_gups_photon(cl, ph, n_updates=40,
+                                                slots_per_rank=64)
+    run_programs(cl, programs)
+    landed = 0
+    for r in range(3):
+        for s in range(64):
+            if cl[r].memory.read_u64(tables[r].addr + s * 8) != 0:
+                landed += 1
+    assert landed > 0
+    for res in results:
+        assert res.updates_issued == 40
+        assert res.updates_per_sec > 0
+
+
+def test_gups_mpi_rma_runs():
+    cl = build_cluster(3)
+    comms = mpi_init(cl)
+    wins = win_allocate(comms, 64 * 8)
+    programs, results = run_gups_mpi_rma(cl, comms, wins, n_updates=40,
+                                         slots_per_rank=64)
+    run_programs(cl, programs)
+    for res in results:
+        assert res.updates_issued == 40
+
+
+def test_gups_mpi_p2p_all_received():
+    cl = build_cluster(3)
+    comms = mpi_init(cl)
+    programs, results, tables = run_gups_mpi_p2p(cl, comms, n_updates=30,
+                                                 slots_per_rank=64)
+    run_programs(cl, programs)
+    for res in results:
+        assert res.updates_issued == 30
+
+
+def test_gups_photon_faster_than_p2p():
+    """The paper's qualitative claim: one-sided random updates beat
+    two-sided (owner CPU off the critical path)."""
+
+    def photon_time():
+        cl = build_cluster(2)
+        ph = photon_init(cl)
+        programs, results, _ = run_gups_photon(cl, ph, n_updates=100,
+                                               slots_per_rank=128)
+        run_programs(cl, programs)
+        return max(r.elapsed_ns for r in results)
+
+    def p2p_time():
+        cl = build_cluster(2)
+        comms = mpi_init(cl)
+        programs, results, _ = run_gups_mpi_p2p(cl, comms, n_updates=100,
+                                                slots_per_rank=128)
+        run_programs(cl, programs)
+        return max(r.elapsed_ns for r in results)
+
+    assert photon_time() < p2p_time()

@@ -1,0 +1,166 @@
+"""Tests for the bench harness: result container, microbench sanity,
+backend registry, and experiment determinism."""
+
+import pytest
+
+from repro.bench import (
+    ExperimentResult,
+    bandwidth_photon,
+    msgrate_photon,
+    overlap_mpi,
+    overlap_photon,
+    pingpong_mpi,
+    pingpong_photon,
+)
+from repro.photon.backends import BACKENDS, backend, build_photon_cluster
+
+
+# ---------------------------------------------------------------- result
+
+
+def make_result(checks):
+    return ExperimentResult(exp_id="RX", title="t", headers=["a", "b"],
+                            rows=[[1, 2.5]], checks=checks)
+
+
+def test_result_checks_aggregate():
+    ok = make_result({"x": True, "y": True})
+    assert ok.all_checks_pass and ok.failed_checks() == []
+    bad = make_result({"x": True, "y": False})
+    assert not bad.all_checks_pass
+    assert bad.failed_checks() == ["y"]
+
+
+def test_result_render_contains_table_and_checks():
+    r = make_result({"works": True})
+    out = r.render()
+    assert "[RX] t" in out
+    assert "check PASS: works" in out
+
+
+def test_result_markdown_shape():
+    r = make_result({"works": False})
+    md = r.to_markdown()
+    assert md.startswith("### RX")
+    assert "| a | b |" in md
+    assert "❌ works" in md
+
+
+# ---------------------------------------------------------------- microbench
+
+
+def test_pingpong_deterministic_across_runs():
+    a = pingpong_photon(64, reps=5, seed=3).samples
+    b = pingpong_photon(64, reps=5, seed=3).samples
+    assert a == b
+
+
+def test_pingpong_latency_stats():
+    st = pingpong_photon(8, reps=5)
+    assert len(st.samples) == 5
+    assert st.mean_us == pytest.approx(st.mean_ns / 1000)
+
+
+def test_mpi_pingpong_slower_with_more_sw_overhead():
+    from repro.minimpi import MPIConfig
+    fast = pingpong_mpi(64, reps=5,
+                        config=MPIConfig(sw_overhead_ns=0)).mean_ns
+    slow = pingpong_mpi(64, reps=5,
+                        config=MPIConfig(sw_overhead_ns=500)).mean_ns
+    assert slow > fast
+
+
+def test_bandwidth_bounded_by_link():
+    gbps = bandwidth_photon(256 * 1024, count=16, window=8)
+    assert 0 < gbps <= 54.0
+
+
+def test_msgrate_positive():
+    assert msgrate_photon(16, count=100) > 0
+
+
+def test_overlap_photon_flat_under_transfer_time():
+    base = overlap_photon(1 << 20, 0)
+    with_compute = overlap_photon(1 << 20, base // 2)
+    assert with_compute <= base * 1.05
+
+
+def test_overlap_mpi_additive_beyond_handshake():
+    base = overlap_mpi(1 << 20, 0)
+    with_compute = overlap_mpi(1 << 20, 2 * base)
+    assert with_compute >= 2 * base
+
+
+# ---------------------------------------------------------------- backends
+
+
+def test_backend_registry_names():
+    assert set(BACKENDS) == {"verbs", "verbs-edr", "ugni", "roce", "sw"}
+
+
+def test_backend_lookup_error_lists_known():
+    with pytest.raises(KeyError, match="verbs"):
+        backend("tcp")
+
+
+def test_build_photon_cluster_end_to_end():
+    cl, ph = build_photon_cluster(2, "ugni")
+    assert cl.params.name == "gemini"
+    assert ph[0].config.use_imm is False
+    src = ph[0].buffer(64)
+    dst = ph[1].buffer(64)
+    cl[0].memory.write(src.addr, b"backend!")
+
+    def prog(env):
+        yield from ph[0].put_pwc(1, src.addr, 8, dst.addr, dst.rkey,
+                                 remote_cid=1)
+
+    def recv(env):
+        c = yield from ph[1].wait_completion("remote", timeout_ns=10 ** 10)
+        return c
+
+    p0 = cl.env.process(prog(cl.env))
+    p1 = cl.env.process(recv(cl.env))
+    cl.env.run(until=cl.env.all_of([p0, p1]))
+    assert p1.value.cid == 1
+    assert cl[1].memory.read(dst.addr, 8) == b"backend!"
+
+
+def test_sw_backend_slower_than_verbs():
+    sw = pingpong_photon(64, reps=5, mode="pwc",
+                         params=backend("sw").fabric,
+                         config=backend("sw").config).mean_ns
+    ib = pingpong_photon(64, reps=5, mode="pwc").mean_ns
+    assert sw > 3 * ib
+
+
+# ---------------------------------------------------------------- experiments
+
+
+def test_quick_experiment_runs_and_checks(capsys):
+    from repro.bench.experiments import r3_msgrate
+    result = r3_msgrate.run(quick=True)
+    assert result.exp_id == "R3"
+    assert result.all_checks_pass, result.failed_checks()
+    assert len(result.rows) >= 2
+
+
+def test_cli_selected_experiment(capsys):
+    from repro.bench.__main__ import main
+    rc = main(["r6"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "[R6]" in out
+    assert "all shape checks passed" in out
+
+
+def test_cli_unknown_experiment_rejected():
+    from repro.bench.__main__ import main
+    with pytest.raises(SystemExit):
+        main(["r99"])
+
+
+def test_latency_stats_percentiles():
+    st = pingpong_photon(8, reps=10)
+    assert st.min_us <= st.median_us <= st.p99_us
+    assert st.min_us <= st.mean_us <= st.p99_us

@@ -1,0 +1,142 @@
+"""Tests for cluster assembly, tracing, counters and photon config."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.photon import PhotonConfig, photon_init
+from repro.sim import Counters, Tracer
+from repro.sim.trace import TraceRecord
+
+
+# ---------------------------------------------------------------- cluster
+
+
+def test_build_cluster_by_preset_name():
+    cl = build_cluster(3, params="gemini")
+    assert cl.n == 3
+    assert cl.params.name == "gemini"
+    assert cl.topology.__class__.__name__ == "Torus2D"
+
+
+def test_build_cluster_topology_override():
+    cl = build_cluster(4, params="gemini", topology="star")
+    assert cl.topology.__class__.__name__ == "Star"
+
+
+def test_build_cluster_param_overrides():
+    cl = build_cluster(2, params="ib-fdr", link__mtu=1024,
+                       nic__max_inline=0)
+    assert cl.params.link.mtu == 1024
+    assert cl.params.nic.max_inline == 0
+
+
+def test_cluster_indexing_and_ranks():
+    cl = build_cluster(2)
+    assert cl[0].rank == 0
+    assert cl[1].context.rank == 1
+    assert cl[0].memory is not cl[1].memory
+
+
+def test_run_spmd_collects_results():
+    cl = build_cluster(3)
+
+    def program(cluster, rank):
+        yield cluster.env.timeout(rank * 10)
+        return rank * 2
+
+    results = cl.run_spmd(program)
+    assert results == [0, 2, 4]
+
+
+def test_cluster_seed_controls_rng():
+    a = build_cluster(2, seed=5).rng.stream("x").integers(0, 100, 4).tolist()
+    b = build_cluster(2, seed=5).rng.stream("x").integers(0, 100, 4).tolist()
+    c = build_cluster(2, seed=6).rng.stream("x").integers(0, 100, 4).tolist()
+    assert a == b != c
+
+
+# ---------------------------------------------------------------- tracer
+
+
+def test_tracer_disabled_is_noop():
+    t = Tracer(enabled=False)
+    t.log(10, "nic.tx", size=4)
+    assert t.records == []
+
+
+def test_tracer_records_and_selects():
+    t = Tracer(enabled=True)
+    t.log(10, "nic.tx", size=4)
+    t.log(20, "nic.rx", size=8)
+    t.log(30, "qp.post")
+    assert len(t.records) == 3
+    assert len(t.select("nic.")) == 2
+    rec = t.select("nic.rx")[0]
+    assert rec.as_dict() == {"time": 20, "category": "nic.rx", "size": 8}
+    t.clear()
+    assert t.records == []
+
+
+def test_tracer_category_filter():
+    t = Tracer(enabled=True, categories=["nic"])
+    t.log(1, "nic.tx")
+    t.log(2, "qp.post")
+    assert len(t.records) == 1
+
+
+def test_cluster_trace_captures_nic_events():
+    cl = build_cluster(2, trace=True)
+    ph = photon_init(cl)
+    dst = ph[1].buffer(64)
+
+    def prog(env):
+        yield from ph[0].put_pwc(1, 0, 0, dst.addr, dst.rkey, remote_cid=1)
+
+    p = cl.env.process(prog(cl.env))
+    cl.env.run()
+    assert len(cl.tracer.select("nic.tx")) >= 1
+    assert len(cl.tracer.select("nic.rx")) >= 1
+
+
+# ---------------------------------------------------------------- counters
+
+
+def test_counters_accumulate_and_snapshot():
+    c = Counters()
+    c.add("x")
+    c.add("x", 4)
+    c.add("y", 2)
+    assert c.get("x") == 5
+    assert c.get("missing") == 0
+    snap = c.snapshot()
+    assert snap == {"x": 5, "y": 2}
+    c.clear()
+    assert c.get("x") == 0
+
+
+# ---------------------------------------------------------------- config
+
+
+def test_photon_config_validation():
+    with pytest.raises(ValueError):
+        PhotonConfig(eager_limit=0).validate()
+    with pytest.raises(ValueError):
+        PhotonConfig(eager_slots=1).validate()
+    with pytest.raises(ValueError):
+        PhotonConfig(credit_fraction=0.0).validate()
+    PhotonConfig().validate()  # defaults valid
+
+
+def test_photon_config_replace():
+    cfg = PhotonConfig().replace(eager_limit=1024)
+    assert cfg.eager_limit == 1024
+    assert PhotonConfig().eager_limit == 8192  # original untouched
+
+
+def test_mpi_config_validation():
+    from repro.minimpi import MPIConfig
+    with pytest.raises(ValueError):
+        MPIConfig(eager_threshold=-1).validate()
+    with pytest.raises(ValueError):
+        MPIConfig(prepost=1).validate()
+    MPIConfig().validate()

@@ -1,0 +1,122 @@
+"""Tests for gather/scatter and wait_any additions."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.minimpi import mpi_init
+from repro.photon import photon_init
+from repro.sim import SimulationError
+
+
+def spmd_mpi(n, body):
+    cl = build_cluster(n)
+    comms = mpi_init(cl)
+    procs = [cl.env.process(body(comms[r], r)) for r in range(n)]
+    cl.env.run(until=cl.env.all_of(procs))
+    return [p.value for p in procs]
+
+
+@pytest.mark.parametrize("n,root", [(2, 0), (3, 1), (5, 4)])
+def test_gather(n, root):
+    def body(comm, rank):
+        out = yield from comm.gather(bytes([rank]) * 8, root=root)
+        return out
+
+    res = spmd_mpi(n, body)
+    for rank, out in enumerate(res):
+        if rank == root:
+            assert out == [bytes([r]) * 8 for r in range(n)]
+        else:
+            assert out is None
+
+
+@pytest.mark.parametrize("n,root", [(2, 0), (4, 2)])
+def test_scatter(n, root):
+    def body(comm, rank):
+        blobs = None
+        if rank == root:
+            blobs = [bytes([dst]) * (dst + 1) for dst in range(n)]
+        out = yield from comm.scatter(blobs, root=root)
+        return out
+
+    res = spmd_mpi(n, body)
+    for rank, out in enumerate(res):
+        assert out == bytes([rank]) * (rank + 1)
+
+
+def test_scatter_root_without_blobs_rejected():
+    def body(comm, rank):
+        out = yield from comm.scatter(None, root=0)
+        return out
+
+    cl = build_cluster(2)
+    comms = mpi_init(cl)
+    p = cl.env.process(body(comms[0], 0))
+    with pytest.raises(SimulationError):
+        cl.env.run(until=p)
+
+
+def test_gather_then_scatter_roundtrip():
+    def body(comm, rank):
+        gathered = yield from comm.gather(bytes([rank * 2]) * 4, root=0)
+        blobs = gathered if rank == 0 else None
+        back = yield from comm.scatter(blobs, root=0)
+        return back
+
+    res = spmd_mpi(3, body)
+    for rank, out in enumerate(res):
+        assert out == bytes([rank * 2]) * 4
+
+
+# ---------------------------------------------------------------- wait_any
+
+
+def test_wait_any_returns_first_completed():
+    cl = build_cluster(2)
+    ph = photon_init(cl)
+    src = ph[0].buffer(1 << 20)
+    dst = ph[1].buffer(1 << 20)
+
+    def prog(env):
+        big = yield from ph[0].post_os_put(1, src.addr, 1 << 20,
+                                           dst.addr, dst.rkey)
+        small = yield from ph[0].post_os_put(1, src.addr, 8,
+                                             dst.addr, dst.rkey)
+        # the small one was posted later but the NIC engine serialises
+        # per rank; wait_any must return whichever finished
+        winner = yield from ph[0].wait_any([big, small],
+                                           timeout_ns=10 ** 12)
+        yield from ph[0].wait_all([big, small], timeout_ns=10 ** 12)
+        return winner, big, small
+
+    p = cl.env.process(prog(cl.env))
+    cl.env.run(until=p)
+    winner, big, small = p.value
+    assert winner in (big, small)
+
+
+def test_wait_any_timeout():
+    cl = build_cluster(2)
+    ph = photon_init(cl)
+    src = ph[0].buffer(64)
+    dst = ph[1].buffer(64)
+
+    def prog(env):
+        rid = yield from ph[0].post_os_put(1, src.addr, 8, dst.addr,
+                                           dst.rkey)
+        # a request that never completes: fabricate one
+        ghost = ph[0].requests.create(
+            ph[0].requests.get(rid).kind, 1, 8, 0, env.now)
+        got = yield from ph[0].wait_any([ghost.rid], timeout_ns=100_000)
+        return got
+
+    p = cl.env.process(prog(cl.env))
+    cl.env.run(until=p)
+    assert p.value is None
+
+
+def test_wait_any_empty_rejected():
+    cl = build_cluster(2)
+    ph = photon_init(cl)
+    with pytest.raises(SimulationError):
+        list(ph[0].wait_any([]))

@@ -1,0 +1,37 @@
+"""The examples must run end-to-end (they self-verify internally)."""
+
+import runpy
+import sys
+
+import pytest
+
+
+@pytest.mark.parametrize("script", [
+    "examples/quickstart.py",
+    "examples/halo_exchange.py",
+    "examples/graph_traversal.py",
+    "examples/work_stealing.py",
+])
+def test_example_runs(script, capsys):
+    runpy.run_path(script, run_name="__main__")
+    out = capsys.readouterr().out
+    assert "MISMATCH" not in out
+    assert len(out) > 50
+
+
+def test_bandwidth_sweep_module(capsys, monkeypatch):
+    """Run the sweep example on a trimmed size list to keep CI fast."""
+    sys.path.insert(0, "examples")
+    try:
+        import importlib.util
+        spec = importlib.util.spec_from_file_location(
+            "bandwidth_sweep", "examples/bandwidth_sweep.py")
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        monkeypatch.setattr(mod, "SIZES", [4096, 65536])
+        mod.main()
+        out = capsys.readouterr().out
+        assert "photon put stream" in out
+        assert "Gbit/s" in out
+    finally:
+        sys.path.remove("examples")

@@ -1,0 +1,119 @@
+"""Unit tests for repro.fabric.memory."""
+
+import pytest
+
+from repro.fabric import IB_FDR, Memory, MemoryError_, OutOfMemory
+
+HOST = IB_FDR.host
+
+
+def make(size=1 << 20):
+    return Memory(size, HOST, rank=0)
+
+
+def test_alloc_returns_disjoint_ranges():
+    mem = make()
+    a = mem.alloc(100)
+    b = mem.alloc(100)
+    assert b >= a + 100
+
+
+def test_alloc_alignment():
+    mem = make()
+    mem.alloc(3)
+    b = mem.alloc(8, align=64)
+    assert b % 64 == 0
+
+
+def test_alloc_bad_alignment_rejected():
+    mem = make()
+    with pytest.raises(MemoryError_):
+        mem.alloc(8, align=3)
+
+
+def test_alloc_zero_rejected():
+    mem = make()
+    with pytest.raises(MemoryError_):
+        mem.alloc(0)
+
+
+def test_alloc_exhaustion():
+    mem = Memory(1024, HOST)
+    mem.alloc(1000)
+    with pytest.raises(OutOfMemory):
+        mem.alloc(100)
+
+
+def test_read_write_roundtrip():
+    mem = make()
+    addr = mem.alloc(16)
+    mem.write(addr, b"hello RDMA world")
+    assert mem.read(addr, 16) == b"hello RDMA world"
+
+
+def test_write_out_of_bounds_rejected():
+    mem = Memory(64, HOST)
+    with pytest.raises(MemoryError_):
+        mem.write(60, b"too long")
+
+
+def test_read_negative_length_rejected():
+    mem = make()
+    with pytest.raises(MemoryError_):
+        mem.read(0, -1)
+
+
+def test_u64_roundtrip():
+    mem = make()
+    addr = mem.alloc(8)
+    mem.write_u64(addr, 0xDEADBEEF12345678)
+    assert mem.read_u64(addr) == 0xDEADBEEF12345678
+
+
+def test_pin_cost_counts_new_pages_only():
+    mem = make()
+    addr = mem.alloc(3 * HOST.page_size, align=HOST.page_size)
+    cost1 = mem.pin_cost_ns(addr, 3 * HOST.page_size)
+    assert cost1 == HOST.reg_base_ns + 3 * HOST.reg_per_page_ns
+    mem.pin(addr, 3 * HOST.page_size)
+    # Re-registering the same range: only the base cost remains.
+    cost2 = mem.pin_cost_ns(addr, 3 * HOST.page_size)
+    assert cost2 == HOST.reg_base_ns
+    assert mem.pinned_pages == 3
+
+
+def test_pin_partial_overlap():
+    mem = make()
+    page = HOST.page_size
+    addr = mem.alloc(4 * page, align=page)
+    mem.pin(addr, page)  # pin first page
+    cost = mem.pin_cost_ns(addr, 2 * page)  # spans pages 0..1; 1 is new
+    assert cost == HOST.reg_base_ns + HOST.reg_per_page_ns
+
+
+def test_unpin_releases_pages():
+    mem = make()
+    page = HOST.page_size
+    addr = mem.alloc(2 * page, align=page)
+    mem.pin(addr, 2 * page)
+    assert mem.pinned_pages == 2
+    mem.unpin(addr, page)
+    assert mem.pinned_pages == 1
+
+
+def test_pages_spanned_unaligned_range():
+    mem = make()
+    page = HOST.page_size
+    # 2 bytes straddling a page boundary span two pages
+    assert mem.pages_spanned(page - 1, 2) == 2
+    assert mem.pages_spanned(0, 1) == 1
+    assert mem.pages_spanned(0, page) == 1
+    assert mem.pages_spanned(0, page + 1) == 2
+
+
+def test_memcpy_cost_scales():
+    mem = make()
+    assert mem.memcpy_cost_ns(0) == 0
+    small = mem.memcpy_cost_ns(1024)
+    large = mem.memcpy_cost_ns(1024 * 1024)
+    assert large > small > 0

@@ -1,0 +1,195 @@
+"""Integration tests for the NIC + link + topology pipeline."""
+
+import pytest
+
+from repro.fabric import IB_FDR, Memory, Nic, Star, WireMsg
+from repro.sim import Counters, Environment
+from repro.util import MiB, serialization_ns, to_gbps
+
+
+def build(n=2, params=IB_FDR, mem_size=8 * MiB):
+    env = Environment()
+    counters = Counters()
+    topo = Star(env, n, params.link, counters)
+    mems = [Memory(mem_size, params.host, rank=r) for r in range(n)]
+    nics = [Nic(env, r, params, mems[r], topo, counters) for r in range(n)]
+    return env, topo, mems, nics, counters
+
+
+def put_msg(mems, src, dst, data, dst_addr, on_delivered=None,
+            on_acked=None, ack=False):
+    """Build an RDMA-write-style message placing bytes at dst_addr."""
+    return WireMsg(
+        src=src, dst=dst, nbytes=len(data), kind="write",
+        fetch=lambda off, size, d=data: d[off:off + size],
+        place=lambda off, chunk, m=mems[dst], a=dst_addr: m.write(a + off, chunk),
+        on_delivered=on_delivered, on_acked=on_acked, ack=ack)
+
+
+def test_write_places_bytes_at_destination():
+    env, topo, mems, nics, _ = build()
+    dst_addr = mems[1].alloc(64)
+    payload = bytes(range(64))
+    done = []
+    msg = put_msg(mems, 0, 1, payload, dst_addr,
+                  on_delivered=lambda nic, m: done.append(env.now))
+    nics[0].transmit(msg)
+    env.run()
+    assert mems[1].read(dst_addr, 64) == payload
+    assert len(done) == 1
+
+
+def test_small_write_latency_in_realistic_band():
+    """A 64B write on IB-FDR should land in roughly 0.5-2.5 us."""
+    env, topo, mems, nics, _ = build()
+    dst_addr = mems[1].alloc(64)
+    done = []
+    msg = put_msg(mems, 0, 1, b"x" * 64, dst_addr,
+                  on_delivered=lambda nic, m: done.append(env.now))
+    nics[0].transmit(msg)
+    env.run()
+    assert 500 <= done[0] <= 2500
+
+
+def test_ack_fires_after_delivery():
+    env, topo, mems, nics, _ = build()
+    dst_addr = mems[1].alloc(8)
+    times = {}
+    msg = put_msg(mems, 0, 1, b"12345678", dst_addr,
+                  on_delivered=lambda nic, m: times.setdefault("del", env.now),
+                  on_acked=lambda: times.setdefault("ack", env.now),
+                  ack=True)
+    nics[0].transmit(msg)
+    env.run()
+    assert times["ack"] > times["del"]
+    # ack delay = return path latency + ack overhead
+    expected = (topo.path_latency_ns(1, 0) + IB_FDR.nic.ack_overhead_ns)
+    assert times["ack"] - times["del"] == expected
+
+
+def test_large_transfer_achieves_near_link_bandwidth():
+    env, topo, mems, nics, _ = build()
+    size = 4 * MiB
+    dst_addr = mems[1].alloc(size)
+    payload = bytes(size)
+    done = []
+    msg = put_msg(mems, 0, 1, payload, dst_addr,
+                  on_delivered=lambda nic, m: done.append(env.now))
+    nics[0].transmit(msg)
+    env.run()
+    gbps = to_gbps(size, done[0])
+    # within 70%..101% of the nominal 54 Gbit/s link
+    assert 0.70 * IB_FDR.link.bandwidth_gbps <= gbps <= 1.01 * IB_FDR.link.bandwidth_gbps
+
+
+def test_zero_byte_message_delivers():
+    env, topo, mems, nics, _ = build()
+    seen = []
+    msg = WireMsg(src=0, dst=1, nbytes=0, kind="ctrl",
+                  on_delivered=lambda nic, m: seen.append(m.kind))
+    nics[0].transmit(msg)
+    env.run()
+    assert seen == ["ctrl"]
+
+
+def test_send_style_message_buffers_payload():
+    env, topo, mems, nics, _ = build()
+    payload = b"two-sided payload bytes!" * 10
+    got = []
+    msg = WireMsg(src=0, dst=1, nbytes=len(payload), kind="send",
+                  inline_data=payload,
+                  on_delivered=lambda nic, m: got.append(m.collect_rx()))
+    nics[0].transmit(msg)
+    env.run()
+    assert got == [payload]
+
+
+def test_loopback_transfer():
+    env, topo, mems, nics, _ = build()
+    src = mems[0].alloc(32)
+    dst = mems[0].alloc(32)
+    mems[0].write(src, b"B" * 32)
+    done = []
+    msg = WireMsg(
+        src=0, dst=0, nbytes=32, kind="write",
+        fetch=lambda off, size: mems[0].read(src + off, size),
+        place=lambda off, chunk: mems[0].write(dst + off, chunk),
+        on_delivered=lambda nic, m: done.append(env.now),
+        on_acked=lambda: done.append(env.now), ack=True)
+    nics[0].transmit(msg)
+    env.run()
+    assert mems[0].read(dst, 32) == b"B" * 32
+    assert len(done) == 2
+
+
+def test_messages_delivered_in_fifo_order():
+    env, topo, mems, nics, _ = build()
+    order = []
+    for i in range(8):
+        dst_addr = mems[1].alloc(16)
+        msg = put_msg(mems, 0, 1, bytes([i]) * 16, dst_addr,
+                      on_delivered=lambda nic, m, i=i: order.append(i))
+        nics[0].transmit(msg)
+    env.run()
+    assert order == list(range(8))
+
+
+def test_responder_path_does_not_use_requester_queue():
+    """Responder messages are transmitted even when queued from ingress
+    context (READ responses)."""
+    env, topo, mems, nics, _ = build()
+    # rank 0 asks rank 1 for data via a ctrl msg; rank 1's NIC responds.
+    src_data = mems[1].alloc(128)
+    mems[1].write(src_data, b"R" * 128)
+    landing = mems[0].alloc(128)
+    got = []
+
+    def on_request(nic, m):
+        resp = WireMsg(
+            src=1, dst=0, nbytes=128, kind="read_resp",
+            fetch=lambda off, size: mems[1].read(src_data + off, size),
+            place=lambda off, chunk: mems[0].write(landing + off, chunk),
+            on_delivered=lambda n2, m2: got.append(env.now))
+        nic.respond(resp)
+
+    req = WireMsg(src=0, dst=1, nbytes=0, kind="read_req",
+                  on_delivered=on_request)
+    nics[0].transmit(req)
+    env.run()
+    assert mems[0].read(landing, 128) == b"R" * 128
+    assert len(got) == 1
+
+
+def test_incast_contention_slows_delivery():
+    """Two senders to one receiver share the victim downlink."""
+    size = 256 * 1024
+    # solo run
+    env, topo, mems, nics, _ = build(n=3)
+    addr = mems[2].alloc(2 * size)
+    solo_done = []
+    nics[0].transmit(put_msg(mems, 0, 2, bytes(size), addr,
+                             on_delivered=lambda n, m: solo_done.append(env.now)))
+    env.run()
+    solo = solo_done[0]
+
+    # incast run
+    env, topo, mems, nics, _ = build(n=3)
+    addr = mems[2].alloc(2 * size)
+    done = []
+    nics[0].transmit(put_msg(mems, 0, 2, bytes(size), addr,
+                             on_delivered=lambda n, m: done.append(env.now)))
+    nics[1].transmit(put_msg(mems, 1, 2, bytes(size), addr + size,
+                             on_delivered=lambda n, m: done.append(env.now)))
+    env.run()
+    # the later finisher should be markedly slower than the solo transfer
+    assert max(done) > 1.5 * solo
+
+
+def test_counters_track_traffic():
+    env, topo, mems, nics, counters = build()
+    dst_addr = mems[1].alloc(1024)
+    nics[0].transmit(put_msg(mems, 0, 1, bytes(1024), dst_addr))
+    env.run()
+    assert counters.get("nic.tx_msgs") == 1
+    assert counters.get("nic.tx_bytes") == 1024
+    assert counters.get("nic.rx_msgs") == 1

@@ -1,0 +1,105 @@
+"""Unit tests for topologies and links."""
+
+import pytest
+
+from repro.fabric import IB_FDR, GEMINI, Star, Torus2D, make_topology
+from repro.fabric.topology import _near_square
+from repro.sim import Counters, Environment, SimulationError
+
+
+def star(n=4):
+    env = Environment()
+    return env, Star(env, n, IB_FDR.link, Counters())
+
+
+def torus(n, rows=0, cols=0):
+    env = Environment()
+    return env, Torus2D(env, n, GEMINI.link, Counters(), rows=rows, cols=cols)
+
+
+def test_star_path_is_two_links():
+    _, topo = star()
+    p = topo.path(0, 3)
+    assert len(p) == 2
+    assert p[0] is topo.uplinks[0]
+    assert p[1] is topo.downlinks[3]
+
+
+def test_star_latency_includes_switch():
+    _, topo = star()
+    lat = topo.path_latency_ns(0, 1)
+    assert lat == 2 * IB_FDR.link.latency_ns + topo.switch_latency_ns
+
+
+def test_self_path_rejected():
+    _, topo = star()
+    with pytest.raises(SimulationError):
+        topo.path(2, 2)
+
+
+def test_out_of_range_rejected():
+    _, topo = star(4)
+    with pytest.raises(SimulationError):
+        topo.path(0, 4)
+
+
+def test_near_square_factorisation():
+    assert _near_square(16) == (4, 4)
+    assert _near_square(12) == (3, 4)
+    assert _near_square(7) == (1, 7)
+    assert _near_square(1) == (1, 1)
+
+
+def test_torus_dimensions():
+    _, topo = torus(16)
+    assert (topo.rows, topo.cols) == (4, 4)
+
+
+def test_torus_explicit_dims_must_match():
+    with pytest.raises(SimulationError):
+        torus(16, rows=3, cols=4)
+
+
+def test_torus_neighbour_path_short():
+    _, topo = torus(16)
+    # 0 -> 1 is one X hop + ejection
+    assert len(topo.path(0, 1)) == 2
+
+
+def test_torus_wraparound_shortest():
+    _, topo = torus(16)  # 4x4: 0 -> 3 wraps backward in X: one hop
+    assert len(topo.path(0, 3)) == 2
+
+
+def test_torus_dimension_order_routing():
+    _, topo = torus(16)
+    # 0=(0,0) -> 5=(1,1): one X hop then one Y hop + ejection
+    assert len(topo.path(0, 5)) == 3
+
+
+def test_torus_latency_grows_with_distance():
+    _, topo = torus(16)
+    near = topo.path_latency_ns(0, 1)
+    far = topo.path_latency_ns(0, 10)  # (0,0)->(2,2): 2+2 hops
+    assert far > near
+
+
+def test_torus_path_cache_returns_same_objects():
+    _, topo = torus(16)
+    assert topo.path(0, 5) is topo.path(0, 5)
+
+
+def test_make_topology_dispatch():
+    env = Environment()
+    assert isinstance(
+        make_topology("star", env, 2, IB_FDR.link, Counters()), Star)
+    assert isinstance(
+        make_topology("torus2d", env, 4, GEMINI.link, Counters()), Torus2D)
+    with pytest.raises(SimulationError):
+        make_topology("hypercube", env, 2, IB_FDR.link, Counters())
+
+
+def test_torus_two_ranks():
+    """Degenerate 1x2 torus still routes."""
+    _, topo = torus(2)
+    assert topo.hops(0, 1) >= 1

@@ -1,0 +1,100 @@
+"""Unit tests for the tag-matching engine (pure data structure)."""
+
+from repro.minimpi import ANY_SOURCE, ANY_TAG, MatchEngine, PostedRecv, UnexpectedMsg
+
+
+def posted(src, tag, rid=0):
+    return PostedRecv(request=rid, src=src, tag=tag, addr=0, length=64)
+
+
+def msg(src, tag, payload=b"x"):
+    return UnexpectedMsg(src=src, tag=tag, payload=payload)
+
+
+def test_exact_match():
+    m = MatchEngine()
+    m.post(posted(1, 5))
+    assert m.match_arrival(1, 5) is not None
+    assert m.match_arrival(1, 5) is None
+
+
+def test_wildcard_source():
+    m = MatchEngine()
+    m.post(posted(ANY_SOURCE, 5))
+    assert m.match_arrival(3, 5) is not None
+
+
+def test_wildcard_tag():
+    m = MatchEngine()
+    m.post(posted(2, ANY_TAG))
+    assert m.match_arrival(2, 99) is not None
+
+
+def test_full_wildcard():
+    m = MatchEngine()
+    m.post(posted(ANY_SOURCE, ANY_TAG))
+    assert m.match_arrival(7, 7) is not None
+
+
+def test_no_match_wrong_tag():
+    m = MatchEngine()
+    m.post(posted(1, 5))
+    assert m.match_arrival(1, 6) is None
+    assert len(m.posted) == 1
+
+
+def test_posted_order_preserved():
+    m = MatchEngine()
+    m.post(posted(1, 5, rid="first"))
+    m.post(posted(1, 5, rid="second"))
+    assert m.match_arrival(1, 5).request == "first"
+    assert m.match_arrival(1, 5).request == "second"
+
+
+def test_wildcard_does_not_steal_earlier_specific():
+    """Posted order decides: the earliest matching recv wins."""
+    m = MatchEngine()
+    m.post(posted(2, 5, rid="specific"))
+    m.post(posted(ANY_SOURCE, ANY_TAG, rid="wild"))
+    assert m.match_arrival(2, 5).request == "specific"
+    assert m.match_arrival(9, 9).request == "wild"
+
+
+def test_unexpected_arrival_order():
+    m = MatchEngine()
+    m.add_unexpected(msg(1, 5, b"a"))
+    m.add_unexpected(msg(1, 5, b"b"))
+    assert m.match_posted(1, 5).payload == b"a"
+    assert m.match_posted(1, 5).payload == b"b"
+
+
+def test_unexpected_wildcard_recv():
+    m = MatchEngine()
+    m.add_unexpected(msg(3, 7))
+    got = m.match_posted(ANY_SOURCE, ANY_TAG)
+    assert got is not None and got.src == 3 and got.tag == 7
+
+
+def test_peek_does_not_remove():
+    m = MatchEngine()
+    m.add_unexpected(msg(1, 1))
+    assert m.peek_unexpected(1, 1) is not None
+    assert m.peek_unexpected(1, 1) is not None
+    assert m.match_posted(1, 1) is not None
+    assert m.peek_unexpected(1, 1) is None
+
+
+def test_rts_flag():
+    rts = UnexpectedMsg(src=0, tag=0, payload=None, remote_addr=64,
+                        remote_key=9, size=1 << 20, sreq=4)
+    assert rts.is_rts
+    assert not msg(0, 0).is_rts
+
+
+def test_max_unexpected_highwater():
+    m = MatchEngine()
+    for i in range(5):
+        m.add_unexpected(msg(0, i))
+    m.match_posted(0, 0)
+    m.add_unexpected(msg(0, 9))
+    assert m.max_unexpected == 5

@@ -1,0 +1,154 @@
+"""Unit/integration tests for the registration cache."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.photon.rcache import RegistrationCache
+
+
+def setup(capacity=4, enabled=True):
+    cl = build_cluster(2)
+    node = cl[0]
+    pd = node.context.alloc_pd()
+    cache = RegistrationCache(node.context, pd, capacity=capacity,
+                              enabled=enabled)
+    return cl, node, cache
+
+
+def run(cl, gen):
+    p = cl.env.process(gen)
+    return cl.env.run(until=p)
+
+
+def test_miss_then_hit():
+    cl, node, cache = setup()
+    addr = node.memory.alloc(8192)
+
+    def prog(env):
+        t0 = env.now
+        mr1 = yield from cache.acquire(addr, 8192)
+        t_miss = env.now - t0
+        t0 = env.now
+        mr2 = yield from cache.acquire(addr, 8192)
+        t_hit = env.now - t0
+        return mr1, mr2, t_miss, t_hit
+
+    mr1, mr2, t_miss, t_hit = run(cl, prog(cl.env))
+    assert mr1 is mr2
+    assert t_miss > 0
+    assert t_hit == 0
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_subrange_hits_covering_registration():
+    cl, node, cache = setup()
+    addr = node.memory.alloc(16384)
+
+    def prog(env):
+        yield from cache.acquire(addr, 16384)
+        mr = yield from cache.acquire(addr + 1000, 512)
+        return mr
+
+    mr = run(cl, prog(cl.env))
+    assert mr.covers(addr + 1000, 512)
+    assert cache.hits == 1
+
+
+def test_lru_eviction_deregisters():
+    cl, node, cache = setup(capacity=2)
+    addrs = [node.memory.alloc(4096, align=4096) for _ in range(3)]
+
+    def prog(env):
+        for a in addrs:
+            yield from cache.acquire(a, 4096)
+
+    run(cl, prog(cl.env))
+    assert cache.size == 2
+    assert cache.evictions == 1
+    assert cl.counters.get("verbs.dereg_mr") == 1
+
+
+def test_lru_order_respects_recency():
+    cl, node, cache = setup(capacity=2)
+    a = node.memory.alloc(4096, align=4096)
+    b = node.memory.alloc(4096, align=4096)
+    c = node.memory.alloc(4096, align=4096)
+
+    def prog(env):
+        yield from cache.acquire(a, 4096)
+        yield from cache.acquire(b, 4096)
+        yield from cache.acquire(a, 4096)  # refresh a
+        yield from cache.acquire(c, 4096)  # evicts b, not a
+        mr = yield from cache.acquire(a, 4096)
+        return mr
+
+    run(cl, prog(cl.env))
+    # a stayed cached: 2 hits (refresh + final); b/c one miss each
+    assert cache.hits == 2
+    assert cache.misses == 3
+
+
+def test_disabled_cache_registers_every_time():
+    cl, node, cache = setup(enabled=False)
+    addr = node.memory.alloc(4096)
+
+    def prog(env):
+        mr1 = yield from cache.acquire(addr, 4096)
+        yield from cache.release(mr1)
+        t0 = env.now
+        mr2 = yield from cache.acquire(addr, 4096)
+        cost2 = env.now - t0
+        return mr1, mr2, cost2
+
+    mr1, mr2, cost2 = run(cl, prog(cl.env))
+    assert mr1 is not mr2
+    assert not mr1.valid  # released = deregistered
+    assert cost2 > 0
+    assert cache.hits == 0 and cache.misses == 2
+
+
+def test_release_with_cache_enabled_keeps_registration():
+    cl, node, cache = setup()
+    addr = node.memory.alloc(4096)
+
+    def prog(env):
+        mr = yield from cache.acquire(addr, 4096)
+        yield from cache.release(mr)
+        return mr
+
+    mr = run(cl, prog(cl.env))
+    assert mr.valid
+    assert cache.size == 1
+
+
+def test_flush_deregisters_all():
+    cl, node, cache = setup(capacity=8)
+    addrs = [node.memory.alloc(4096, align=4096) for _ in range(3)]
+
+    def prog(env):
+        for a in addrs:
+            yield from cache.acquire(a, 4096)
+        yield from cache.flush()
+
+    run(cl, prog(cl.env))
+    assert cache.size == 0
+    assert cl.counters.get("verbs.dereg_mr") == 3
+
+
+def test_hit_rate_property():
+    cl, node, cache = setup()
+    addr = node.memory.alloc(4096)
+
+    def prog(env):
+        for _ in range(4):
+            yield from cache.acquire(addr, 4096)
+
+    run(cl, prog(cl.env))
+    assert cache.hit_rate == pytest.approx(0.75)
+
+
+def test_invalid_capacity_rejected():
+    cl = build_cluster(2)
+    pd = cl[0].context.alloc_pd()
+    with pytest.raises(ValueError):
+        RegistrationCache(cl[0].context, pd, capacity=0)

@@ -1,0 +1,133 @@
+"""Property-based tests for minimpi matching semantics and data paths."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import build_cluster
+from repro.minimpi import (
+    ANY_SOURCE,
+    ANY_TAG,
+    MatchEngine,
+    PostedRecv,
+    UnexpectedMsg,
+    mpi_init,
+)
+
+
+# ---------------------------------------------------------------- matching
+
+
+@given(arrivals=st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3),
+              st.integers(min_value=0, max_value=3)),
+    min_size=0, max_size=30))
+@settings(max_examples=100)
+def test_every_arrival_eventually_matches_a_wildcard(arrivals):
+    """With a wildcard receive per arrival, nothing is left unmatched and
+    matches happen in arrival order."""
+    m = MatchEngine()
+    for src, tag in arrivals:
+        m.add_unexpected(UnexpectedMsg(src=src, tag=tag,
+                                       payload=bytes([src, tag])))
+    got = []
+    for _ in arrivals:
+        msg = m.match_posted(ANY_SOURCE, ANY_TAG)
+        assert msg is not None
+        got.append((msg.src, msg.tag))
+    assert got == arrivals
+    assert m.match_posted(ANY_SOURCE, ANY_TAG) is None
+
+
+@given(data=st.data())
+@settings(max_examples=100)
+def test_specific_match_never_returns_wrong_message(data):
+    arrivals = data.draw(st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 2)),
+        min_size=1, max_size=20))
+    m = MatchEngine()
+    for src, tag in arrivals:
+        m.add_unexpected(UnexpectedMsg(src=src, tag=tag, payload=b""))
+    want_src = data.draw(st.integers(0, 2))
+    want_tag = data.draw(st.integers(0, 2))
+    msg = m.match_posted(want_src, want_tag)
+    matching = [(s, t) for s, t in arrivals
+                if s == want_src and t == want_tag]
+    if matching:
+        assert msg is not None and (msg.src, msg.tag) == matching[0]
+    else:
+        assert msg is None
+
+
+@given(posted=st.lists(
+    st.tuples(st.sampled_from([0, 1, ANY_SOURCE]),
+              st.sampled_from([0, 1, ANY_TAG])),
+    min_size=1, max_size=20),
+    arrival=st.tuples(st.integers(0, 1), st.integers(0, 1)))
+@settings(max_examples=100)
+def test_arrival_takes_earliest_compatible_posted(posted, arrival):
+    m = MatchEngine()
+    for i, (src, tag) in enumerate(posted):
+        m.post(PostedRecv(request=i, src=src, tag=tag, addr=0, length=0))
+    src, tag = arrival
+    got = m.match_arrival(src, tag)
+    compatible = [i for i, (ps, pt) in enumerate(posted)
+                  if (ps == ANY_SOURCE or ps == src)
+                  and (pt == ANY_TAG or pt == tag)]
+    if compatible:
+        assert got is not None and got.request == compatible[0]
+    else:
+        assert got is None
+
+
+# ---------------------------------------------------------------- end-to-end
+
+
+@settings(max_examples=10, deadline=None)
+@given(msgs=st.lists(st.binary(min_size=0, max_size=4096),
+                     min_size=1, max_size=10),
+       seed=st.integers(min_value=0, max_value=50))
+def test_mixed_size_messages_arrive_in_order(msgs, seed):
+    """Eager and rendezvous messages on one flow keep MPI ordering."""
+    cl = build_cluster(2, seed=seed)
+    comms = mpi_init(cl)
+    src_heap = cl[0].memory.alloc(1 << 20)
+    dst_heap = cl[1].memory.alloc(1 << 20)
+    got = []
+
+    def sender(env):
+        for i, m in enumerate(msgs):
+            cl[0].memory.write(src_heap, m)
+            yield from comms[0].send(src_heap, len(m), 1, tag=5)
+
+    def receiver(env):
+        for i in range(len(msgs)):
+            st_ = yield from comms[1].recv(dst_heap, 1 << 20, 0, tag=5)
+            got.append(cl[1].memory.read(dst_heap, st_.count))
+
+    p0 = cl.env.process(sender(cl.env))
+    p1 = cl.env.process(receiver(cl.env))
+    cl.env.run(until=cl.env.all_of([p0, p1]))
+    assert got == [bytes(m) for m in msgs]
+
+
+@settings(max_examples=8, deadline=None)
+@given(n=st.integers(min_value=2, max_value=5),
+       values=st.data())
+def test_allreduce_sum_equals_numpy_sum(n, values):
+    import numpy as np
+    arrays = [values.draw(st.lists(
+        st.integers(min_value=-1000, max_value=1000),
+        min_size=4, max_size=4)) for _ in range(n)]
+    cl = build_cluster(n)
+    comms = mpi_init(cl)
+    results = []
+
+    def body(rank):
+        arr = np.array(arrays[rank], dtype=np.int64)
+        out = yield from comms[rank].allreduce(arr, "sum")
+        results.append(out)
+
+    procs = [cl.env.process(body(r)) for r in range(n)]
+    cl.env.run(until=cl.env.all_of(procs))
+    expected = np.sum(np.array(arrays, dtype=np.int64), axis=0)
+    for out in results:
+        np.testing.assert_array_equal(out, expected)

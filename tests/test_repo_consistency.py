@@ -1,0 +1,70 @@
+"""Repository self-consistency: experiments ↔ benchmarks ↔ docs.
+
+Keeps the deliverables honest: every registered experiment has a
+benchmark target, is indexed in DESIGN.md, and has a measured table in
+EXPERIMENTS.md.
+"""
+
+import os
+import re
+
+from repro.bench.experiments import ALL
+
+
+def test_every_experiment_has_a_benchmark_file():
+    files = os.listdir("benchmarks")
+    for key, module in ALL.items():
+        suffix = module.__name__.rsplit(".", 1)[-1]  # e.g. r1_latency
+        assert f"bench_{suffix}.py" in files, f"missing bench for {key}"
+
+
+def test_every_benchmark_maps_to_an_experiment():
+    suffixes = {m.__name__.rsplit(".", 1)[-1] for m in ALL.values()}
+    for fname in os.listdir("benchmarks"):
+        if fname.startswith("bench_") and fname.endswith(".py"):
+            assert fname[len("bench_"):-3] in suffixes, fname
+
+
+def test_design_indexes_every_experiment():
+    text = open("DESIGN.md").read()
+    for key in ALL:
+        assert re.search(rf"\|\s*{key.upper()}\s*\|", text), \
+            f"DESIGN.md experiment index misses {key.upper()}"
+
+
+def test_experiments_md_has_every_table():
+    text = open("EXPERIMENTS.md").read()
+    for key in ALL:
+        assert f"### {key.upper()} —" in text, \
+            f"EXPERIMENTS.md misses a measured table for {key.upper()}"
+
+
+def test_experiment_ids_match_registry_keys():
+    for key, module in ALL.items():
+        result = getattr(module, "run")
+        assert callable(result)
+        # exp_id inside the module's source matches the key
+        src = open(module.__file__).read()
+        assert f'exp_id="{key.upper()}"' in src, module.__name__
+
+
+def test_design_notes_paper_text_mismatch():
+    """The provenance caveat must stay at the top of both documents."""
+    design = open("DESIGN.md").read()
+    assert "PAPER-TEXT MISMATCH NOTICE" in design.split("##")[0]
+    experiments = open("EXPERIMENTS.md").read()
+    assert "Provenance caveat" in experiments[:1000]
+
+
+def test_examples_listed_in_readme_exist():
+    readme = open("README.md").read()
+    for match in re.findall(r"`(examples/[\w_]+\.py)`", readme):
+        assert os.path.exists(match), match
+
+
+def test_all_examples_are_documented():
+    readme = open("README.md").read()
+    for fname in os.listdir("examples"):
+        if fname.endswith(".py"):
+            assert f"examples/{fname}" in readme, \
+                f"README does not mention examples/{fname}"

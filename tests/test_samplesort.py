@@ -1,0 +1,81 @@
+"""Correctness tests for the distributed sample sort app."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    make_keys,
+    run_samplesort_mpi,
+    run_samplesort_photon,
+    verify_sorted,
+)
+from repro.cluster import build_cluster
+from repro.minimpi import mpi_init
+from repro.photon import photon_init
+
+
+def run_programs(cl, programs):
+    procs = [cl.env.process(p) for p in programs]
+    cl.env.run(until=cl.env.all_of(procs))
+
+
+def test_make_keys_deterministic_and_partitioned():
+    a = make_keys(1000, 4, seed=1)
+    b = make_keys(1000, 4, seed=1)
+    assert all(np.array_equal(x, y) for x, y in zip(a, b))
+    assert sum(k.size for k in a) == 1000
+    assert not np.array_equal(make_keys(1000, 4, seed=2)[0], a[0])
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_samplesort_photon_verifies(n):
+    inputs = make_keys(4000, n, seed=5)
+    cl = build_cluster(n)
+    ph = photon_init(cl)
+    programs, results = run_samplesort_photon(cl, ph, inputs)
+    run_programs(cl, programs)
+    assert verify_sorted(results, inputs)
+
+
+@pytest.mark.parametrize("n", [2, 4])
+def test_samplesort_mpi_verifies(n):
+    inputs = make_keys(4000, n, seed=5)
+    cl = build_cluster(n)
+    comms = mpi_init(cl)
+    programs, results = run_samplesort_mpi(cl, comms, inputs)
+    run_programs(cl, programs)
+    assert verify_sorted(results, inputs)
+
+
+def test_samplesort_agrees_with_numpy():
+    inputs = make_keys(2000, 2, seed=9)
+    cl = build_cluster(2)
+    ph = photon_init(cl)
+    programs, results = run_samplesort_photon(cl, ph, inputs)
+    run_programs(cl, programs)
+    merged = np.concatenate([r.keys for r in
+                             sorted(results, key=lambda r: r.rank)])
+    np.testing.assert_array_equal(merged,
+                                  np.sort(np.concatenate(inputs)))
+
+
+def test_samplesort_records_exchange_metrics():
+    inputs = make_keys(2000, 2, seed=9)
+    cl = build_cluster(2)
+    ph = photon_init(cl)
+    programs, results = run_samplesort_photon(cl, ph, inputs)
+    run_programs(cl, programs)
+    for r in results:
+        assert 0 < r.exchange_ns < r.elapsed_ns
+        assert r.bytes_exchanged > 0
+
+
+def test_verify_sorted_catches_corruption():
+    inputs = make_keys(1000, 2, seed=3)
+    cl = build_cluster(2)
+    ph = photon_init(cl)
+    programs, results = run_samplesort_photon(cl, ph, inputs)
+    run_programs(cl, programs)
+    # corrupt one key: verification must fail
+    results[0].keys[0] += 1
+    assert not verify_sorted(results, inputs)

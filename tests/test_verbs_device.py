@@ -1,0 +1,117 @@
+"""Unit tests for the verbs device layer: contexts, PDs, directory, MRs."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.verbs import (
+    Access,
+    ProtectionError,
+    VerbsError,
+)
+from repro.verbs.device import Directory
+
+
+def test_directory_registers_contexts_once():
+    cl = build_cluster(3)
+    assert cl.directory.n == 3
+    assert cl.directory.lookup(2) is cl[2].context
+    with pytest.raises(VerbsError):
+        cl.directory.lookup(9)
+
+
+def test_directory_duplicate_rank_rejected():
+    d = Directory()
+
+    class Fake:
+        rank = 0
+
+    d.register(Fake())
+    with pytest.raises(VerbsError):
+        d.register(Fake())
+
+
+def test_pd_find_local_respects_permissions():
+    cl = build_cluster(2)
+    ctx = cl[0].context
+    pd = ctx.alloc_pd()
+    addr = cl[0].memory.alloc(4096)
+    ctx.reg_mr_sync(pd, addr, 4096, Access.REMOTE_READ)
+    # readable MR found with no permission requirement
+    assert pd.find_local(addr, 64) is not None
+    # but not as a LOCAL_WRITE target
+    with pytest.raises(ProtectionError):
+        pd.find_local(addr, 64, Access.LOCAL_WRITE)
+
+
+def test_pd_find_local_unregistered_range_rejected():
+    cl = build_cluster(2)
+    pd = cl[0].context.alloc_pd()
+    with pytest.raises(ProtectionError):
+        pd.find_local(12345, 8)
+
+
+def test_mr_keys_unique_per_context():
+    cl = build_cluster(2)
+    ctx = cl[0].context
+    pd = ctx.alloc_pd()
+    a = cl[0].memory.alloc(4096)
+    b = cl[0].memory.alloc(4096)
+    mr1 = ctx.reg_mr_sync(pd, a, 4096)
+    mr2 = ctx.reg_mr_sync(pd, b, 4096)
+    assert mr1.rkey != mr2.rkey
+
+
+def test_check_remote_validates_permission_and_range():
+    cl = build_cluster(2)
+    ctx = cl[1].context
+    pd = ctx.alloc_pd()
+    addr = cl[1].memory.alloc(4096)
+    mr = ctx.reg_mr_sync(pd, addr, 4096, Access.REMOTE_WRITE)
+    assert ctx.check_remote(mr.rkey, addr, 64, Access.REMOTE_WRITE) is mr
+    with pytest.raises(ProtectionError):
+        ctx.check_remote(mr.rkey, addr, 64, Access.REMOTE_ATOMIC)
+    with pytest.raises(ProtectionError):
+        ctx.check_remote(mr.rkey, addr + 4090, 64, Access.REMOTE_WRITE)
+    with pytest.raises(ProtectionError):
+        ctx.check_remote(999999, addr, 64, Access.REMOTE_WRITE)
+
+
+def test_mr_zero_length_rejected():
+    cl = build_cluster(2)
+    ctx = cl[0].context
+    pd = ctx.alloc_pd()
+    addr = cl[0].memory.alloc(64)
+    with pytest.raises(ProtectionError):
+        ctx.reg_mr_sync(pd, addr, 0)
+
+
+def test_mr_registration_pins_pages():
+    cl = build_cluster(2)
+    ctx = cl[0].context
+    pd = ctx.alloc_pd()
+    addr = cl[0].memory.alloc(8192, align=4096)
+    before = cl[0].memory.pinned_pages
+    ctx.reg_mr_sync(pd, addr, 8192)
+    assert cl[0].memory.pinned_pages == before + 2
+
+
+def test_mr_local_read_write_helpers():
+    cl = build_cluster(2)
+    ctx = cl[0].context
+    pd = ctx.alloc_pd()
+    addr = cl[0].memory.alloc(64)
+    mr = ctx.reg_mr_sync(pd, addr, 64, Access.ALL)
+    mr.write(addr, b"abc")
+    assert mr.read(addr, 3) == b"abc"
+    with pytest.raises(ProtectionError):
+        mr.read(addr + 62, 8)  # out of range
+
+
+def test_mr_write_needs_local_write():
+    cl = build_cluster(2)
+    ctx = cl[0].context
+    pd = ctx.alloc_pd()
+    addr = cl[0].memory.alloc(64)
+    mr = ctx.reg_mr_sync(pd, addr, 64, Access.REMOTE_READ)
+    with pytest.raises(ProtectionError):
+        mr.write(addr, b"no")
