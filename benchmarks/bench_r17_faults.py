@@ -1,0 +1,16 @@
+"""Benchmark R17 — regenerates the fault-domain experiment (DESIGN.md §4).
+
+Runs the reconstructed experiment in quick mode under pytest-benchmark
+and asserts its qualitative shape checks.
+"""
+
+from repro.bench.experiments import r17_faults
+
+
+def test_r17_faults(benchmark):
+    result = benchmark.pedantic(r17_faults.run, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.all_checks_pass, \
+        f"shape checks failed: {result.failed_checks()}"

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.bench            # run everything, quick mode
     python -m repro.bench --full     # full sweeps (slower)
+    python -m repro.bench --smoke    # tiny CI subset, quick mode
     python -m repro.bench r1 r5      # selected experiments
     python -m repro.bench --markdown out.md   # write EXPERIMENTS-style md
 """
@@ -16,18 +17,26 @@ import time
 
 from .experiments import ALL
 
+#: fast, representative subset for CI: a latency microbench, a fabric
+#: validation, and the fault-domain sweep
+SMOKE = ["r1", "r14", "r17"]
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro.bench")
     parser.add_argument("experiments", nargs="*",
-                        help="experiment ids (r1..r11); default: all")
+                        help="experiment ids (r1..r17); default: all")
     parser.add_argument("--full", action="store_true",
                         help="full sweeps instead of quick mode")
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"run only the CI smoke subset {SMOKE}")
     parser.add_argument("--markdown", metavar="PATH",
                         help="also write results as markdown")
     args = parser.parse_args(argv)
 
-    wanted = args.experiments or list(ALL)
+    if args.smoke and args.full:
+        parser.error("--smoke and --full are mutually exclusive")
+    wanted = args.experiments or (SMOKE if args.smoke else list(ALL))
     unknown = [w for w in wanted if w not in ALL]
     if unknown:
         parser.error(f"unknown experiments {unknown}; known: {sorted(ALL)}")

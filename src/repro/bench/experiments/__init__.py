@@ -22,6 +22,7 @@ from . import (
     r14_incast,
     r15_coalescing,
     r16_samplesort,
+    r17_faults,
 )
 
 ALL = {
@@ -41,6 +42,7 @@ ALL = {
     "r14": r14_incast,
     "r15": r15_coalescing,
     "r16": r16_samplesort,
+    "r17": r17_faults,
 }
 
 __all__ = ["ALL"] + [f"r{i}_{n}" for i, n in []]

@@ -82,13 +82,25 @@ class Link:
         while True:
             chunk: Chunk = yield self.inbox.get()
             ser = serialization_ns(chunk.wire_bytes, self.params.bandwidth_gbps)
-            # fault injection: a dropped chunk costs the recovery timeout
-            # plus a fresh serialisation before it finally goes through
             if (self.params.drop_rate > 0.0 and self.rng is not None):
-                while self.rng.random() < self.params.drop_rate:
-                    self.counters.add("link.drops")
-                    self._busy_ns += ser
-                    yield env.timeout(ser + self.params.retransmit_ns)
+                if self.params.loss_mode == "lossy":
+                    # genuine loss: the chunk still occupies the wire for
+                    # its serialisation time, then vanishes.  Recovery (if
+                    # any) is end-to-end at the sending NIC.
+                    if self.rng.random() < self.params.drop_rate:
+                        self.counters.add("link.drops")
+                        self.counters.add("link.lost_bytes", chunk.wire_bytes)
+                        self._busy_ns += ser
+                        yield env.timeout(ser)
+                        continue
+                else:
+                    # reliable mode: a dropped chunk costs the recovery
+                    # timeout plus a fresh serialisation before it finally
+                    # goes through
+                    while self.rng.random() < self.params.drop_rate:
+                        self.counters.add("link.drops")
+                        self._busy_ns += ser
+                        yield env.timeout(ser + self.params.retransmit_ns)
             self._busy_ns += ser
             self.counters.add("link.chunks")
             self.counters.add("link.bytes", chunk.wire_bytes)

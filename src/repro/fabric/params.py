@@ -37,12 +37,26 @@ class LinkParams:
     mtu: int
     #: per-packet wire header (routing + CRC), bytes, added to every chunk
     header_bytes: int = 30
-    #: probability a chunk is corrupted/dropped in flight; the reliable
-    #: transport recovers it (go-back-N style) at ``retransmit_ns`` plus a
-    #: re-serialisation, so data is never lost — only delayed.  0 = clean.
+    #: probability a chunk is corrupted/dropped in flight.  What happens
+    #: next depends on ``loss_mode``:
+    #:
+    #: - ``"reliable"`` (default): the link-level transport recovers the
+    #:   chunk in place (go-back-N style) at ``retransmit_ns`` plus a fresh
+    #:   serialisation — data is never lost, only delayed.  No error ever
+    #:   reaches the verbs layer.
+    #: - ``"lossy"``: the chunk is genuinely discarded.  Recovery (if any)
+    #:   happens end-to-end in the NIC's ack-timeout/retry machinery
+    #:   (``NicParams.ack_timeout_ns`` / ``transport_retries``); exhaustion
+    #:   surfaces as a ``WCStatus.RETRY_EXC_ERR`` work completion.
+    #:
+    #: 0 = clean in either mode.
     drop_rate: float = 0.0
-    #: recovery penalty per dropped chunk (timeout + retransmit), ns
+    #: recovery penalty per dropped chunk in "reliable" mode (timeout +
+    #: retransmit), ns
     retransmit_ns: int = 12_000
+    #: "reliable" (delay-only recovery at the link) or "lossy" (genuine
+    #: drops, end-to-end recovery at the NIC)
+    loss_mode: str = "reliable"
 
 
 @dataclass(frozen=True)
@@ -79,6 +93,12 @@ class NicParams:
     #: penalty charged when a message arrives before a receive is posted
     #: (receiver-not-ready retry, ns); well-behaved middleware never pays it
     rnr_retry_ns: int = 5000
+    #: lossy mode: grace period beyond the expected round trip before the
+    #: send engine declares a message un-acked and retransmits (ns)
+    ack_timeout_ns: int = 25_000
+    #: lossy mode: how many retransmissions of a message the NIC attempts
+    #: before completing its work request with RETRY_EXC_ERR
+    transport_retries: int = 3
 
 
 @dataclass(frozen=True)

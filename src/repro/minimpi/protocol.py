@@ -31,7 +31,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 from ..cluster import Cluster, RankNode
 from ..photon.rcache import RegistrationCache
 from ..sim.core import Environment, SimulationError
-from ..verbs.enums import Access, Opcode
+from ..verbs.enums import Access, Opcode, QPState
 from ..verbs.qp import QueuePair, RecvWR, SendWR
 from .matching import MatchEngine, PostedRecv, UnexpectedMsg
 from .status import ANY_SOURCE, ANY_TAG, MPIConfig, Status
@@ -48,7 +48,8 @@ KIND_FIN = 3
 class MPIRequest:
     """Handle for a non-blocking operation."""
 
-    __slots__ = ("rid", "kind", "done", "status", "t_posted", "t_completed")
+    __slots__ = ("rid", "kind", "done", "status", "t_posted", "t_completed",
+                 "error")
     _ids = itertools.count(1)
 
     def __init__(self, kind: str, now: int):
@@ -58,6 +59,12 @@ class MPIRequest:
         self.status = Status()
         self.t_posted = now
         self.t_completed = -1
+        #: None, or the error the transport gave up with ("retry_exceeded")
+        self.error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
     def complete(self, now: int) -> None:
         if self.done:
@@ -65,8 +72,17 @@ class MPIRequest:
         self.done = True
         self.t_completed = now
 
+    def fail(self, now: int, error: str = "retry_exceeded") -> None:
+        """Settle the request with an error so waits unblock."""
+        if self.done:
+            return
+        self.error = error
+        self.done = True
+        self.t_completed = now
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "done" if self.done else "pending"
+        state = ("failed" if self.failed
+                 else "done" if self.done else "pending")
         return f"<MPIRequest {self.rid} {self.kind} {state}>"
 
 
@@ -105,6 +121,8 @@ class Engine:
         self.peers: Dict[int, _PeerChannel] = {}
         self.live_requests: Dict[int, MPIRequest] = {}
         self._ops: Dict[int, Callable] = {}
+        #: error handlers by wr_id (retry closures, request failure)
+        self._op_errors: Dict[int, Callable] = {}
         self._wr_seq = itertools.count(1)
         self.slot_size = HDR.size + config.eager_threshold
         self._bounce_mr = None
@@ -171,8 +189,15 @@ class Engine:
         return ch.send_slots.popleft()
 
     def _send_ctrl(self, ch: _PeerChannel, slot: int, raw: bytes,
-                   on_ack: Optional[Callable]) -> "generator":
-        """Stage ``raw`` into ``slot`` and SEND it (generator)."""
+                   on_ack: Optional[Callable],
+                   on_fail: Optional[Callable] = None,
+                   attempt: int = 0) -> "generator":
+        """Stage ``raw`` into ``slot`` and SEND it (generator).
+
+        A SEND the fabric gave up on is replayed (the QP is re-armed by
+        the progress engine first) up to ``max_op_retries`` extra times;
+        after that the slot is returned and ``on_fail`` fires.
+        """
         self.memory.write(slot, raw)
         yield self.env.timeout(self.memory.memcpy_cost_ns(len(raw)))
         wr_id = next(self._wr_seq)
@@ -182,10 +207,30 @@ class Engine:
             if on_ack is not None:
                 on_ack()
 
+        def error():
+            if attempt < self.config.max_op_retries:
+                self.counters.add("mpi.ctrl_resends")
+                self.env.process(
+                    self._resend_ctrl(ch, slot, raw, on_ack, on_fail,
+                                      attempt + 1),
+                    name="mpi:ctrl-resend")
+            else:
+                ch.send_slots.append(slot)
+                self.counters.add("mpi.ctrl_failures")
+                if on_fail is not None:
+                    on_fail()
+
         self._ops[wr_id] = done
+        self._op_errors[wr_id] = error
         wr = SendWR(opcode=Opcode.SEND, wr_id=wr_id, local_addr=slot,
                     length=len(raw))
         yield from ch.qp.post_send_timed(wr)
+
+    def _resend_ctrl(self, ch: _PeerChannel, slot: int, raw: bytes,
+                     on_ack: Optional[Callable], on_fail: Optional[Callable],
+                     attempt: int):
+        yield self.env.timeout(self.config.sw_overhead_ns)
+        yield from self._send_ctrl(ch, slot, raw, on_ack, on_fail, attempt)
 
     def _send_eager(self, req: MPIRequest, addr: int, size: int, dst: int,
                     tag: int):
@@ -199,7 +244,13 @@ class Engine:
         def on_ack():
             self.live_requests[rid].complete(self.env.now)
 
-        yield from self._send_ctrl(ch, slot, raw, on_ack)
+        def on_fail():
+            self.counters.add("mpi.send_failures")
+            failed = self.live_requests.get(rid)
+            if failed is not None:
+                failed.fail(self.env.now)
+
+        yield from self._send_ctrl(ch, slot, raw, on_ack, on_fail)
         self.counters.add("mpi.eager_sends")
 
     def _send_rts(self, req: MPIRequest, addr: int, size: int, dst: int,
@@ -208,7 +259,16 @@ class Engine:
         mr = yield from self.rcache.acquire(addr, size)
         slot = yield from self._acquire_slot(ch)
         raw = HDR.pack(KIND_RTS, tag, size, req.rid, addr, mr.rkey)
-        yield from self._send_ctrl(ch, slot, raw, None)
+        rid = req.rid
+
+        def on_fail():
+            # the advertisement never arrived: no FIN will ever come back
+            self.counters.add("mpi.send_failures")
+            failed = self.live_requests.get(rid)
+            if failed is not None:
+                failed.fail(self.env.now)
+
+        yield from self._send_ctrl(ch, slot, raw, None, on_fail)
         self.counters.add("mpi.rndv_sends")
         # request completes when the FIN arrives
 
@@ -216,7 +276,13 @@ class Engine:
         ch = self._peer(dst)
         slot = yield from self._acquire_slot(ch)
         raw = HDR.pack(KIND_FIN, 0, 0, sreq, 0, 0)
-        yield from self._send_ctrl(ch, slot, raw, None)
+
+        def on_fail():
+            # the sender's request will settle via its own deadline/teardown;
+            # all we can do here is record the loss
+            self.counters.add("mpi.fin_failures")
+
+        yield from self._send_ctrl(ch, slot, raw, None, on_fail)
 
     # ------------------------------------------------------------- recv side
     def irecv(self, addr: int, length: int, src: int, tag: int):
@@ -259,21 +325,37 @@ class Engine:
                 f"rank {self.rank}: rendezvous message of {msg.size}B "
                 f"truncates {posted.length}B receive")
         yield from self.rcache.acquire(posted.addr, msg.size)
-        wr_id = next(self._wr_seq)
         req = posted.request
         src, tag, size, sreq = msg.src, msg.tag, msg.size, msg.sreq
+        state = {"attempts": 0}
 
         def done():
             req.status = Status(source=src, tag=tag, count=size)
             req.complete(self.env.now)
             self.env.process(self._send_fin(src, sreq), name="mpi:fin")
 
-        self._ops[wr_id] = done
-        ch = self._peer(src)
-        wr = SendWR(opcode=Opcode.RDMA_READ, wr_id=wr_id,
-                    local_addr=posted.addr, length=size,
-                    remote_addr=msg.remote_addr, rkey=msg.remote_key)
-        yield from ch.qp.post_send_timed(wr)
+        def error():
+            # RDMA reads are idempotent — repost the same fetch
+            if state["attempts"] < self.config.max_op_retries:
+                state["attempts"] += 1
+                self.counters.add("mpi.fetch_retries")
+                self.env.process(post_once(), name="mpi:refetch")
+            else:
+                self.counters.add("mpi.recv_failures")
+                req.status = Status(source=src, tag=tag, count=0)
+                req.fail(self.env.now)
+
+        def post_once():
+            wr_id = next(self._wr_seq)
+            self._ops[wr_id] = done
+            self._op_errors[wr_id] = error
+            ch = self._peer(src)
+            wr = SendWR(opcode=Opcode.RDMA_READ, wr_id=wr_id,
+                        local_addr=posted.addr, length=size,
+                        remote_addr=msg.remote_addr, rkey=msg.remote_key)
+            yield from ch.qp.post_send_timed(wr)
+
+        yield from post_once()
         self.counters.add("mpi.rndv_fetches")
 
     def _deliver_local(self, src: int, tag: int, payload: bytes):
@@ -292,6 +374,12 @@ class Engine:
         posted.request.complete(self.env.now)
 
     # ------------------------------------------------------------- progress
+    def _reconnect(self, rank: int) -> None:
+        ch = self.peers.get(rank)
+        if ch is not None and ch.qp.state is QPState.ERROR:
+            ch.qp.reset_and_reconnect()
+            self.counters.add("mpi.qp_reconnects")
+
     def _progress_once(self):
         env = self.env
         nic = self.cluster.params.nic
@@ -299,10 +387,32 @@ class Engine:
         for wc in self.send_cq.poll(max_entries=32):
             yield env.timeout(nic.cqe_poll_ns)
             cb = self._ops.pop(wc.wr_id, None)
+            ecb = self._op_errors.pop(wc.wr_id, None)
+            if not wc.ok:
+                self.counters.add("mpi.wr_errors")
+                self._reconnect(wc.src_rank)
+                if ecb is not None:
+                    ecb()
+                continue
             if cb is not None:
                 cb()
         for wc in self.recv_cq.poll(max_entries=32):
             yield env.timeout(nic.cqe_poll_ns)
+            if not wc.ok:
+                # flushed bounce receive: reclaim the slot and repost once
+                # the QP is re-armed
+                self.counters.add("mpi.recv_flushes")
+                ch = self.peers.get(wc.src_rank)
+                slot = (ch.recv_slots.pop(wc.wr_id, None)
+                        if ch is not None else None)
+                self._reconnect(wc.src_rank)
+                if (ch is not None and slot is not None
+                        and ch.qp.state is QPState.READY):
+                    new_id = next(self._wr_seq)
+                    ch.recv_slots[new_id] = slot
+                    ch.qp.post_recv(RecvWR(wr_id=new_id, addr=slot,
+                                           length=self.slot_size))
+                continue
             yield from self._on_recv(wc)
         self.counters.add("mpi.progress_passes")
 
@@ -342,7 +452,9 @@ class Engine:
             else:
                 yield from self._fetch_rendezvous(posted, msg)
         elif kind == KIND_FIN:
-            self.live_requests[sreq].complete(self.env.now)
+            sender_req = self.live_requests.get(sreq)
+            if sender_req is not None and not sender_req.done:
+                sender_req.complete(self.env.now)
         else:
             raise SimulationError(f"bad wire kind {kind}")
         # repost the bounce

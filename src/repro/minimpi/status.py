@@ -46,6 +46,9 @@ class MPIConfig:
     sw_overhead_ns: int = 120
     #: collective scratch heap per rank (bytes)
     coll_scratch: int = 8 * 1024 * 1024
+    #: extra attempts for a control message / rendezvous fetch the fabric
+    #: failed before the owning request is completed with an error
+    max_op_retries: int = 3
 
     def replace(self, **kw) -> "MPIConfig":
         return replace(self, **kw)
@@ -55,6 +58,8 @@ class MPIConfig:
             raise ValueError("eager_threshold must be >= 0")
         if self.eager_credits < 1 or self.prepost < 2:
             raise ValueError("eager_credits >= 1 and prepost >= 2 required")
+        if self.max_op_retries < 0:
+            raise ValueError("max_op_retries must be >= 0")
 
 
 DEFAULT_MPI_CONFIG = MPIConfig()

@@ -14,7 +14,7 @@ Public surface:
 """
 
 from .api import Photon, PhotonBuffer, photon_init
-from .base import Completion
+from .base import Completion, ReliableOp, TimeoutStatus
 from .config import DEFAULT_CONFIG, PhotonConfig
 from .messaging import ANY, RecvInfo
 from .rcache import RegistrationCache
@@ -22,7 +22,7 @@ from .request import PhotonRequest, RequestKind, RequestState, RequestTable
 
 __all__ = [
     "Photon", "PhotonBuffer", "photon_init",
-    "Completion",
+    "Completion", "ReliableOp", "TimeoutStatus",
     "DEFAULT_CONFIG", "PhotonConfig",
     "ANY", "RecvInfo",
     "RegistrationCache",

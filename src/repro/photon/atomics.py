@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..sim.core import SimulationError
-from ..verbs.enums import Opcode
+from ..verbs.enums import Opcode, WCStatus
 from ..verbs.qp import SendWR
 
 __all__ = ["AtomicsMixin"]
@@ -58,13 +58,21 @@ class AtomicsMixin:
             old = self.memory.read_u64(landing)
             if cid is not None:
                 self._atomic_results[cid] = old
-                self.local_cids.append(cid)
+                self.local_cids.append((cid, WCStatus.SUCCESS))
                 self.counters.add("photon.local_cids")
+
+        def on_error():
+            # fetch-add is not idempotent, so the reliability layer never
+            # replays atomics: a lost atomic surfaces as an error cid
+            if cid is not None:
+                self.local_cids.append((cid, WCStatus.RETRY_EXC_ERR))
+                self.counters.add("photon.local_cids")
+            self.counters.add("photon.atomic_failures")
 
         wr = SendWR(opcode=opcode, local_addr=landing,
                     remote_addr=remote_addr, rkey=rkey,
                     compare_add=compare_add, swap=swap)
-        yield from self._post(peer, wr, on_done)
+        yield from self._post(peer, wr, on_done, on_error)
         self.counters.add("photon.atomics")
 
     def atomic_fadd(self, dst: int, remote_addr: int, rkey: int,
@@ -99,11 +107,16 @@ class AtomicsMixin:
         cid = self._next_atomic_cid()
         yield from self.atomic_fadd(dst, remote_addr, rkey, operand,
                                     local_cid=cid)
-        ok = yield from self._wait_until(lambda: cid in self.local_cids,
-                                         timeout_ns=10 ** 12)
+        ok = yield from self._wait_until(
+            lambda: any(c == cid for c, _ in self.local_cids),
+            timeout_ns=10 ** 12)
         if not ok:
             raise SimulationError("blocking fetch-add lost its completion")
-        self.local_cids.remove(cid)
+        entry = next(e for e in self.local_cids if e[0] == cid)
+        self.local_cids.remove(entry)
+        if entry[1] is not WCStatus.SUCCESS:
+            raise SimulationError(
+                f"blocking fetch-add failed with {entry[1].value}")
         return self.atomic_result(cid)
 
     def _next_atomic_cid(self) -> int:
@@ -121,4 +134,4 @@ class AtomicsMixin:
                 self.memory.write_u64(addr, swap)
         if local_cid is not None:
             self._atomic_results[local_cid] = old
-            self.local_cids.append(local_cid)
+            self.local_cids.append((local_cid, WCStatus.SUCCESS))

@@ -15,15 +15,16 @@ into Photon still receives puts into its exposed buffers.
 
 from __future__ import annotations
 
+import enum
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from ..cluster import Cluster, RankNode
 from ..sim.core import Environment, SimulationError
 from ..verbs.cq import CompletionQueue
 from ..verbs.device import ProtectionDomain
-from ..verbs.enums import Access, Opcode, WCOpcode
+from ..verbs.enums import Access, Opcode, QPState, WCOpcode, WCStatus
 from ..verbs.qp import QueuePair, RecvWR, SendWR
 from .config import PhotonConfig
 from .ledger import LocalRing, RemoteRing, RingSpec
@@ -40,9 +41,26 @@ from .wire import (
     InfoEntry,
 )
 
-__all__ = ["PhotonBase", "PeerState", "Completion", "RING_NAMES"]
+__all__ = ["PhotonBase", "PeerState", "Completion", "TimeoutStatus",
+           "ReliableOp", "RING_NAMES"]
 
 RING_NAMES = ("cmp", "eager", "info", "fin")
+
+
+class TimeoutStatus(enum.Enum):
+    """Typed result of a blocking wait.
+
+    Truthy exactly when the wait succeeded, so ``if ok:`` call sites keep
+    working, but callers can also distinguish ``TimeoutStatus.TIMED_OUT``
+    from a legitimate falsy payload.
+    """
+
+    OK = "ok"
+    TIMED_OUT = "timed_out"
+
+    def __bool__(self) -> bool:
+        return self is TimeoutStatus.OK
+
 
 #: photon_probe_completion result
 @dataclass(frozen=True)
@@ -52,6 +70,37 @@ class Completion:
     kind: str  # "local" | "remote"
     cid: int
     src: int
+    #: SUCCESS, or the error the reliability layer gave up with
+    status: WCStatus = WCStatus.SUCCESS
+
+    @property
+    def ok(self) -> bool:
+        return self.status is WCStatus.SUCCESS
+
+
+@dataclass
+class ReliableOp:
+    """One retryable PWC operation tracked by the reliability layer."""
+
+    peer_rank: int
+    op_id: int
+    kind: str  # "put" | "send" | "get" | "notify"
+    #: generator factory posting one (re)attempt of the op's work requests
+    replay: Optional[Callable[["ReliableOp"], object]] = None
+    local_cid: Optional[int] = None
+    #: fired once when the op completes successfully (get-notify spawn etc.)
+    on_done: Optional[Callable[[], None]] = None
+    #: posts so far (1 = first attempt)
+    attempts: int = 0
+    #: acks still outstanding for the *current* attempt
+    acks_pending: int = 0
+    state: str = "pending"  # pending | backoff | done | failed
+    deadline: int = 0
+    next_retry_at: int = 0
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        return (self.peer_rank, self.op_id)
 
 
 @dataclass
@@ -66,6 +115,11 @@ class PeerState:
     credit_staging: Dict[str, int] = field(default_factory=dict)
     outstanding: int = 0
     preposted: int = 0
+    #: producer-side reliable-operation id allocator (per peer)
+    tx_op_seq: int = 0
+    #: consumer-side dedup: ids <= rx_hwm or in rx_seen were delivered
+    rx_hwm: int = 0
+    rx_seen: Set[int] = field(default_factory=set)
 
 
 class PhotonBase:
@@ -94,8 +148,15 @@ class PhotonBase:
         self.peers: Dict[int, PeerState] = {}
         # engine queues
         self._op_seq = 0
-        self._ops: Dict[int, Tuple[str, Optional[Callable]]] = {}
-        self.local_cids: Deque[int] = deque()
+        self._ops: Dict[int, Tuple[str, Optional[Callable],
+                                   Optional[Callable]]] = {}
+        # reliability layer: live retryable ops by (peer, op id), terminal
+        # results kept until the caller frees them, seeded jitter stream
+        self._reliable: Dict[Tuple[int, int], ReliableOp] = {}
+        self._op_results: Dict[Tuple[int, int], WCStatus] = {}
+        self._in_deadline_scan = False
+        self._retry_rng = cluster.rng.stream(f"photon.retry.{self.rank}")
+        self.local_cids: Deque[Tuple[int, WCStatus]] = deque()
         self.remote_cids: Deque[Tuple[int, int]] = deque()  # (cid, src)
         self.messages: Deque[Tuple[int, int, bytes]] = deque()  # (src, cid, data)
         self.infos: List[InfoEntry] = []
@@ -180,9 +241,10 @@ class PhotonBase:
                 peer.preposted += 1
 
     # ------------------------------------------------------------- posting
-    def _next_op(self, kind: str, callback: Optional[Callable]) -> int:
+    def _next_op(self, kind: str, callback: Optional[Callable],
+                 on_error: Optional[Callable] = None) -> int:
         self._op_seq += 1
-        self._ops[self._op_seq] = (kind, callback)
+        self._ops[self._op_seq] = (kind, callback, on_error)
         return self._op_seq
 
     def _peer(self, rank: int) -> PeerState:
@@ -194,22 +256,28 @@ class PhotonBase:
         return peer
 
     def _post(self, peer: PeerState, wr: SendWR,
-              on_ack: Optional[Callable] = None):
+              on_ack: Optional[Callable] = None,
+              on_error: Optional[Callable] = None):
         """Charge post overhead, track outstanding, post (generator)."""
         while peer.outstanding >= self.config.max_outstanding:
             yield from self._progress_once()
             yield self.env.timeout(self.config.wait_backoff_ns)
-        wr.wr_id = self._next_op("ack", on_ack)
+        wr.wr_id = self._next_op("ack", on_ack, on_error)
         wr.signaled = True
         peer.outstanding += 1
         yield from peer.qp.post_send_timed(wr)
         self.counters.add("photon.posts")
 
     def _post_ring_entry(self, peer: PeerState, ring_name: str,
-                         entry: bytes, on_ack: Optional[Callable] = None,
+                         entry, on_ack: Optional[Callable] = None,
+                         on_error: Optional[Callable] = None,
                          extent: Optional[int] = None):
-        """Claim a slot in the peer's ring and RDMA-write ``entry`` into it.
+        """Claim a slot in the peer's ring and RDMA-write an entry into it.
 
+        ``entry`` is either raw bytes or a builder ``f(seq) -> bytes`` —
+        the builder form stamps the *claimed* sequence number, which is the
+        only safe option when the claim can be preceded by a backpressure
+        wait (or when the entry is replayed later into a fresh slot).
         ``extent``: bytes of the slot actually written (defaults to the
         entry length) — eager entries only write header+payload+trailer,
         not the full slot.  Returns the claimed sequence number (generator).
@@ -220,6 +288,8 @@ class PhotonBase:
             yield from self._progress_once()
             yield self.env.timeout(self.config.wait_backoff_ns)
         seq, stage_addr, remote_addr = ring.claim()
+        if callable(entry):
+            entry = entry(seq)
         nbytes = extent if extent is not None else len(entry)
         if len(entry) > ring.spec.entry_size:
             raise SimulationError(
@@ -232,8 +302,47 @@ class PhotonBase:
         wr = SendWR(opcode=Opcode.RDMA_WRITE, local_addr=stage_addr,
                     length=nbytes, remote_addr=remote_addr, rkey=ring.rkey,
                     inline=use_inline)
-        yield from self._post(peer, wr, on_ack)
+        yield from self._post(peer, wr, on_ack,
+                              self._entry_error_cb(peer, wr, on_ack, on_error))
         return seq
+
+    def _entry_error_cb(self, peer: PeerState, wr: SendWR,
+                        on_ack: Optional[Callable],
+                        on_error: Optional[Callable], attempt: int = 0):
+        """Slot-stable delivery retry for a lost ring-entry write.
+
+        The consumer drains each ring strictly in sequence order, so a
+        lost entry write would leave a hole no later entry can fill and
+        stall the ring for good.  The entry bytes are still staged (the
+        slot cannot be reclaimed before the peer returns credit for it),
+        so re-posting the same WR into the same slot is idempotent and
+        repairs the hole.  After ``entry_resend_limit`` resends the hole is
+        declared permanent and the caller's ``on_error`` runs.
+        """
+
+        def cb():
+            if attempt >= self.config.entry_resend_limit:
+                self.counters.add("photon.entry_drops")
+                if on_error is not None:
+                    on_error()
+                return
+            self.counters.add("photon.entry_resends")
+            self.env.process(
+                self._resend_ring_entry(peer, wr, on_ack, on_error,
+                                        attempt + 1),
+                name="photon:entry-resend")
+
+        return cb
+
+    def _resend_ring_entry(self, peer: PeerState, wr: SendWR,
+                           on_ack: Optional[Callable],
+                           on_error: Optional[Callable], attempt: int):
+        backoff = min(self.config.backoff_base_ns << (attempt - 1),
+                      self.config.backoff_max_ns)
+        yield self.env.timeout(backoff)
+        yield from self._post(peer, wr, on_ack,
+                              self._entry_error_cb(peer, wr, on_ack, on_error,
+                                                   attempt))
 
     def _send_credit(self, peer: PeerState, ring_name: str):
         """Return ledger credit to the producer (tiny RDMA write)."""
@@ -246,37 +355,200 @@ class PhotonBase:
                     remote_addr=local.producer_credit_addr,
                     rkey=local.producer_rkey,
                     inline=self.config.use_inline and 8 <= nic.max_inline)
-        yield from self._post(peer, wr, None)
+
+        def on_error():
+            # a credit write carries an absolute value — resending the
+            # current word is always safe and keeps the producer unblocked
+            self.counters.add("photon.credit_resends")
+            self.env.process(self._resend_credit(peer, ring_name),
+                             name="photon:credit-resend")
+
+        yield from self._post(peer, wr, None, on_error)
         self.counters.add("photon.credit_writes")
+
+    def _resend_credit(self, peer: PeerState, ring_name: str):
+        local = peer.local[ring_name]
+        stage = peer.credit_staging[ring_name]
+        self.memory.write_u64(stage, local.credit_sent)
+        nic = self.cluster.params.nic
+        wr = SendWR(opcode=Opcode.RDMA_WRITE, local_addr=stage, length=8,
+                    remote_addr=local.producer_credit_addr,
+                    rkey=local.producer_rkey,
+                    inline=self.config.use_inline and 8 <= nic.max_inline)
+
+        def on_error():
+            self.counters.add("photon.credit_resends")
+            self.env.process(self._resend_credit(peer, ring_name),
+                             name="photon:credit-resend")
+
+        yield from self._post(peer, wr, None, on_error)
+
+    # ------------------------------------------------------------- reliability
+    def _new_reliable_op(self, peer: PeerState, kind: str,
+                         local_cid: Optional[int]) -> ReliableOp:
+        peer.tx_op_seq += 1
+        op = ReliableOp(peer_rank=peer.rank, op_id=peer.tx_op_seq, kind=kind,
+                        local_cid=local_cid)
+        self._reliable[op.key] = op
+        return op
+
+    def _op_cbs(self, op: ReliableOp, attempt: int):
+        """(ack, error) WR callbacks bound to one attempt of one op.
+
+        Callbacks from a superseded attempt (its WRs resolved after the
+        deadline already declared the attempt dead) are ignored.
+        """
+
+        def on_ack():
+            if op.state != "pending" or attempt != op.attempts:
+                return
+            op.acks_pending -= 1
+            if op.acks_pending <= 0:
+                self._op_done(op)
+
+        def on_error():
+            if attempt != op.attempts:
+                return
+            self._op_attempt_failed(op)
+
+        return on_ack, on_error
+
+    def _start_attempt(self, op: ReliableOp):
+        op.attempts += 1
+        op.deadline = self.env.now + self.config.op_timeout_ns
+        yield from op.replay(op)
+
+    def _op_done(self, op: ReliableOp) -> None:
+        if op.state in ("done", "failed"):
+            return
+        op.state = "done"
+        self._reliable.pop(op.key, None)
+        self._op_results[op.key] = WCStatus.SUCCESS
+        if op.local_cid is not None:
+            self.local_cids.append((op.local_cid, WCStatus.SUCCESS))
+            self.counters.add("photon.local_cids")
+        if op.on_done is not None:
+            op.on_done()
+
+    def _op_attempt_failed(self, op: ReliableOp) -> None:
+        """One attempt failed (WR error or deadline): back off or give up."""
+        if op.state != "pending":
+            return
+        if op.attempts > self.config.max_op_retries:
+            op.state = "failed"
+            self._reliable.pop(op.key, None)
+            self._op_results[op.key] = WCStatus.RETRY_EXC_ERR
+            self.counters.add("photon.op_failures")
+            if op.local_cid is not None:
+                self.local_cids.append((op.local_cid, WCStatus.RETRY_EXC_ERR))
+                self.counters.add("photon.local_cids")
+            return
+        self.counters.add("photon.op_retries")
+        base = self.config.backoff_base_ns << (op.attempts - 1)
+        backoff = min(base, self.config.backoff_max_ns)
+        backoff += int(self._retry_rng.integers(0, self.config.backoff_base_ns))
+        op.state = "backoff"
+        op.next_retry_at = self.env.now + backoff
+
+    def op_status(self, dst: int, op_id: int) -> Optional[WCStatus]:
+        """Terminal status of a reliable op, or None while still in flight.
+
+        ``put_pwc``/``send_pwc``/``get_pwc`` return the op id.  Terminal
+        results are retained until :meth:`free_op`.
+        """
+        return self._op_results.get((dst, op_id))
+
+    def free_op(self, dst: int, op_id: int) -> None:
+        """Drop the retained terminal status of a reliable op."""
+        self._op_results.pop((dst, op_id), None)
+
+    def _reconnect_peer(self, peer: PeerState) -> None:
+        """Re-arm an errored QP (reliability layer owns reconnection)."""
+        if peer.qp.state is not QPState.ERROR:
+            return
+        peer.qp.reset_and_reconnect()
+        self.counters.add("photon.qp_reconnects")
+
+    def _rx_dup(self, peer: PeerState, op_id: int) -> bool:
+        """True if this (peer, op) ledger entry was already delivered."""
+        if op_id == 0:
+            return False
+        if op_id <= peer.rx_hwm or op_id in peer.rx_seen:
+            self.counters.add("photon.dup_drops")
+            return True
+        peer.rx_seen.add(op_id)
+        while peer.rx_hwm + 1 in peer.rx_seen:
+            peer.rx_hwm += 1
+            peer.rx_seen.discard(peer.rx_hwm)
+        return False
 
     # ------------------------------------------------------------- progress
     def _progress_once(self):
-        """One polling pass: CQs then ledgers (generator, charges time)."""
+        """One polling pass: CQs, ledgers, then retry deadlines (generator,
+        charges time)."""
         env = self.env
         nic = self.cluster.params.nic
         yield env.timeout(self.config.progress_poll_ns)
-        # 1) source completions
+        # 1) source completions (successes and errors)
         for wc in self.send_cq.poll(max_entries=32):
             yield env.timeout(nic.cqe_poll_ns)
-            kind, callback = self._ops.pop(wc.wr_id)
+            entry = self._ops.pop(wc.wr_id, None)
             peer = self.peers.get(wc.src_rank)
             if peer is not None:
                 peer.outstanding -= 1
-            if callback is not None:
-                callback()
-        # 2) immediate-mode remote completions
+            if entry is None:
+                continue
+            kind, callback, on_error = entry
+            if wc.ok:
+                if callback is not None:
+                    callback()
+            else:
+                self.counters.add("photon.wr_errors")
+                if peer is not None:
+                    self._reconnect_peer(peer)
+                if on_error is not None:
+                    on_error()
+        # 2) immediate-mode remote completions (+ flushed receives)
         if self.config.use_imm:
             for wc in self.recv_cq.poll(max_entries=32):
                 yield env.timeout(nic.cqe_poll_ns)
+                peer = self.peers.get(wc.src_rank)
+                if peer is not None:
+                    peer.preposted -= 1
+                if not wc.ok:
+                    self.counters.add("photon.recv_flushes")
+                    if peer is not None:
+                        self._reconnect_peer(peer)
+                    continue
                 if wc.opcode is WCOpcode.RECV_RDMA_WITH_IMM:
                     self.remote_cids.append((wc.imm, wc.src_rank))
                     self.counters.add("photon.remote_cids")
-                peer = self.peers.get(wc.src_rank)
-                if peer is not None:
-                    peer.qp.post_recv(RecvWR())
+            # top preposts back up (also refills after a reconnect)
+            for peer in self.peers.values():
+                if peer.qp.state is QPState.READY:
+                    while peer.preposted < self.config.imm_prepost:
+                        peer.qp.post_recv(RecvWR())
+                        peer.preposted += 1
         # 3) ledger scans
         for peer in self.peers.values():
             yield from self._scan_peer(peer)
+        # 4) retry-deadline scan (skipped when re-entered from a replay's
+        # own backpressure wait)
+        if self._reliable and not self._in_deadline_scan:
+            self._in_deadline_scan = True
+            try:
+                now = env.now
+                for key in list(self._reliable):
+                    op = self._reliable.get(key)
+                    if op is None:
+                        continue
+                    if op.state == "pending" and now >= op.deadline:
+                        self._op_attempt_failed(op)
+                    if op.state == "backoff" and now >= op.next_retry_at:
+                        op.state = "pending"
+                        yield from self._start_attempt(op)
+            finally:
+                self._in_deadline_scan = False
         self.counters.add("photon.progress_passes")
 
     def _scan_peer(self, peer: PeerState):
@@ -289,6 +561,8 @@ class PhotonBase:
             entry = CompletionEntry.unpack(ring.read_head())
             ring.advance()
             yield env.timeout(nic.cqe_poll_ns)
+            if self._rx_dup(peer, entry.op):
+                continue  # replayed entry; already delivered
             self.remote_cids.append((entry.cid, entry.src))
             self.counters.add("photon.remote_cids")
         # eager ring (header seq + trailer seq must both match)
@@ -303,6 +577,8 @@ class PhotonBase:
             ring.advance()
             yield env.timeout(mem.memcpy_cost_ns(header.size)
                               + nic.cqe_poll_ns)
+            if self._rx_dup(peer, header.op):
+                continue  # replayed message; already delivered
             self.messages.append((header.src, header.cid, payload))
             self.counters.add("photon.eager_msgs")
         # info ring
@@ -351,17 +627,53 @@ class PhotonBase:
                 for name, ring in peer.remote.items()},
         }
 
+    def telemetry(self) -> Dict[str, object]:
+        """Fault-domain telemetry: retry/recovery counters + in-flight ops.
+
+        Counters are cluster-global (every rank shares the clusterwide
+        counter set); ``reliable_ops_inflight`` is rank-local.
+        """
+        c = self.counters
+        return {
+            "nic.ack_timeouts": c.get("nic.ack_timeouts"),
+            "nic.retransmits": c.get("nic.retransmits"),
+            "nic.retry_exhausted": c.get("nic.retry_exhausted"),
+            "qp.flushes": c.get("qp.flushes"),
+            "qp.reconnects": c.get("qp.reconnects"),
+            "photon.op_retries": c.get("photon.op_retries"),
+            "photon.op_failures": c.get("photon.op_failures"),
+            "photon.dup_drops": c.get("photon.dup_drops"),
+            "photon.entry_resends": c.get("photon.entry_resends"),
+            "photon.wr_errors": c.get("photon.wr_errors"),
+            "photon.qp_reconnects": c.get("photon.qp_reconnects"),
+            "transport.peer_down": c.get("transport.peer_down"),
+            "reliable_ops_inflight": len(self._reliable),
+        }
+
     def _wait_until(self, predicate: Callable[[], bool],
                     timeout_ns: Optional[int] = None):
         """Poll progress until ``predicate()`` holds (generator).
 
-        Returns True on success, False if the optional timeout expired.
+        Returns :class:`TimeoutStatus` — ``OK`` (truthy) on success,
+        ``TIMED_OUT`` (falsy) if the optional timeout expired.  Idle
+        backoff is adaptive: the first ``wait_backoff_ramp`` empty polls
+        sleep ``wait_backoff_ns``, after which the sleep doubles per pass
+        up to ``wait_backoff_max_ns`` so long waits don't spin the event
+        loop while short waits stay responsive.
         """
         deadline = None if timeout_ns is None else self.env.now + timeout_ns
+        backoff = self.config.wait_backoff_ns
+        empty = 0
         while not predicate():
             if deadline is not None and self.env.now >= deadline:
-                return False
+                return TimeoutStatus.TIMED_OUT
             yield from self._progress_once()
             if not predicate():
-                yield self.env.timeout(self.config.wait_backoff_ns)
-        return True
+                empty += 1
+                if empty > self.config.wait_backoff_ramp:
+                    backoff = min(backoff * 2, self.config.wait_backoff_max_ns)
+                sleep = backoff
+                if deadline is not None:
+                    sleep = min(sleep, max(1, deadline - self.env.now))
+                yield self.env.timeout(sleep)
+        return TimeoutStatus.OK

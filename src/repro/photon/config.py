@@ -39,8 +39,34 @@ class PhotonConfig:
     credit_fraction: float = 0.5
     #: host cost of one progress-engine pass over the ledgers (ns)
     progress_poll_ns: int = 60
-    #: idle backoff between polls when blocking in wait (ns)
+    #: idle backoff between polls when blocking in wait (ns); the backoff
+    #: is adaptive — after ``wait_backoff_ramp`` empty polls it doubles per
+    #: pass up to ``wait_backoff_max_ns`` so long idle waits don't spin the
+    #: event loop at 100 ns granularity
     wait_backoff_ns: int = 100
+    #: empty polls at the base backoff before cap-doubling starts (keeps
+    #: short waits — the common case — as responsive as a fixed backoff)
+    wait_backoff_ramp: int = 32
+    #: ceiling for the adaptive wait backoff (ns)
+    wait_backoff_max_ns: int = 6_400
+    # --- reliability (lossy fabrics) ---
+    #: how many times a failed/expired PWC operation is replayed before it
+    #: completes with an error cid (0 = fail on first error)
+    max_op_retries: int = 3
+    #: per-operation deadline: a PWC op neither acked nor failed by the
+    #: fabric within this window is considered lost and replayed (ns)
+    op_timeout_ns: int = 5_000_000
+    #: base of the exponential retry backoff (doubles per attempt, plus
+    #: seeded jitter drawn from [0, backoff_base_ns)), ns
+    backoff_base_ns: int = 20_000
+    #: ceiling for the exponential retry backoff (ns)
+    backoff_max_ns: int = 1_000_000
+    #: slot-stable resends of a lost ledger-entry write before the hole is
+    #: declared permanent.  Deliberately deeper than ``max_op_retries``:
+    #: rings are consumed strictly in sequence order, so an unfilled slot
+    #: stalls every later entry from that peer — ring liveness is worth
+    #: retrying much harder than a single operation's latency budget
+    entry_resend_limit: int = 12
     #: use the registration cache for user buffers
     rcache_enabled: bool = True
     #: max cached registrations before LRU eviction
@@ -62,6 +88,16 @@ class PhotonConfig:
                 raise ValueError(f"{field} must be >= 2")
         if not 0.0 < self.credit_fraction <= 1.0:
             raise ValueError("credit_fraction must be in (0, 1]")
+        if self.max_op_retries < 0:
+            raise ValueError("max_op_retries must be >= 0")
+        if self.entry_resend_limit < 0:
+            raise ValueError("entry_resend_limit must be >= 0")
+        for field in ("op_timeout_ns", "backoff_base_ns", "backoff_max_ns",
+                      "wait_backoff_max_ns"):
+            if getattr(self, field) <= 0:
+                raise ValueError(f"{field} must be positive")
+        if self.wait_backoff_ramp < 0:
+            raise ValueError("wait_backoff_ramp must be >= 0")
 
 
 DEFAULT_CONFIG = PhotonConfig()

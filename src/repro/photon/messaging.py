@@ -77,11 +77,20 @@ class MessagingMixin:
             return req.rid
         peer = self._peer(dst)
         mr = yield from self.rcache.acquire(local_addr, size)
-        ring = peer.remote["info"]
-        entry = InfoEntry(seq=ring.produced + 1, req=req.rid, tag=tag,
-                          addr=local_addr, size=size, rkey=mr.rkey,
-                          src=self.rank)
-        yield from self._post_ring_entry(peer, "info", entry.pack())
+        rid = req.rid
+
+        def on_error():
+            # the advertisement never reached the peer: no receiver will
+            # ever fetch + FIN, so settle the request as failed
+            self.counters.add("photon.request_failures")
+            self.requests.fail(rid, self.env.now)
+
+        yield from self._post_ring_entry(
+            peer, "info",
+            lambda seq: InfoEntry(seq=seq, req=rid, tag=tag,
+                                  addr=local_addr, size=size, rkey=mr.rkey,
+                                  src=self.rank).pack(),
+            on_error=on_error)
         self.counters.add("photon.rendezvous_sends")
         return req.rid
 
@@ -114,16 +123,27 @@ class MessagingMixin:
     def recv_rdma(self, info: RecvInfo, local_addr: int):
         """Fetch an advertised buffer and FIN the sender (generator).
 
-        Returns the number of bytes received.
+        Returns the number of bytes received.  RDMA reads are idempotent,
+        so a fetch the fabric gave up on is simply reposted (up to
+        ``max_op_retries`` extra attempts) before raising.
         """
-        rid = yield from self.post_os_get(info.src, local_addr, info.size,
-                                          info.addr, info.rkey)
-        yield from self.wait(rid)
-        self.free_request(rid)
+        for _attempt in range(self.config.max_op_retries + 1):
+            rid = yield from self.post_os_get(info.src, local_addr, info.size,
+                                              info.addr, info.rkey)
+            yield from self.wait(rid)
+            failed = self.requests.get(rid).failed
+            self.free_request(rid)
+            if not failed:
+                break
+            self.counters.add("photon.rendezvous_refetches")
+        else:
+            raise SimulationError(
+                f"rank {self.rank}: rendezvous fetch from {info.src} failed "
+                f"after {self.config.max_op_retries + 1} attempts")
         peer = self._peer(info.src)
-        ring = peer.remote["fin"]
-        fin = FinEntry(seq=ring.produced + 1, req=info.req)
-        yield from self._post_ring_entry(peer, "fin", fin.pack())
+        yield from self._post_ring_entry(
+            peer, "fin",
+            lambda seq: FinEntry(seq=seq, req=info.req).pack())
         self.counters.add("photon.rendezvous_recvs")
         return info.size
 

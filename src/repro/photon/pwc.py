@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..sim.core import SimulationError
-from ..verbs.enums import Opcode
+from ..verbs.enums import Opcode, WCStatus
 from ..verbs.qp import SendWR
 from .base import Completion
 from .wire import CompletionEntry, EagerHeader
@@ -37,52 +37,64 @@ class PwcMixin:
         """One-sided put with completion identifiers (generator).
 
         The local buffer is registered through the registration cache if
-        not already covered.  Returns once the operation is *posted*;
-        completions surface via :meth:`probe_completion`.
+        not already covered.  Returns once the first attempt is *posted*;
+        completions surface via :meth:`probe_completion`.  On a lossy
+        fabric the operation is tracked by the reliability layer: failed
+        or expired attempts are replayed (the data write is idempotent and
+        the completion entry carries the op id for target-side dedup)
+        until success or ``max_op_retries`` is exhausted, at which point
+        the local completion surfaces with ``WCStatus.RETRY_EXC_ERR``.
+        Returns the reliable-op id (None for self-puts) for use with
+        :meth:`~repro.photon.base.PhotonBase.op_status`.
         """
         if size < 0:
             raise SimulationError("negative put size")
         if dst == self.rank:
             yield from self._self_put(local_addr, size, remote_addr,
                                       local_cid, remote_cid)
-            return
+            return None
         peer = self._peer(dst)
         if size > 0:
             yield from self.rcache.acquire(local_addr, size)
-        on_ack = None
-        if local_cid is not None:
-            cid = local_cid
+        use_imm = self.config.use_imm and remote_cid is not None
+        if use_imm and not 0 <= remote_cid < _U32:
+            raise SimulationError(
+                f"immediate-mode remote cid {remote_cid} must fit 32 bits")
+        op = self._new_reliable_op(peer, "put", local_cid)
 
-            def on_ack():
-                self.local_cids.append(cid)
-                self.counters.add("photon.local_cids")
-
-        if self.config.use_imm and remote_cid is not None:
-            if not 0 <= remote_cid < _U32:
-                raise SimulationError(
-                    f"immediate-mode remote cid {remote_cid} must fit 32 bits")
-            wr = SendWR(opcode=Opcode.RDMA_WRITE_WITH_IMM,
-                        local_addr=local_addr, length=size,
-                        remote_addr=remote_addr, rkey=rkey, imm=remote_cid,
-                        inline=self._inline_ok(size))
-            yield from self._post(peer, wr, on_ack)
-        else:
+        def replay(op):
+            on_ack, on_error = self._op_cbs(op, op.attempts)
+            if use_imm:
+                op.acks_pending = 1
+                wr = SendWR(opcode=Opcode.RDMA_WRITE_WITH_IMM,
+                            local_addr=local_addr, length=size,
+                            remote_addr=remote_addr, rkey=rkey,
+                            imm=remote_cid, inline=self._inline_ok(size))
+                yield from self._post(peer, wr, on_ack, on_error)
+                return
+            op.acks_pending = ((1 if size > 0 else 0)
+                               + (1 if remote_cid is not None else 0))
+            if op.acks_pending == 0:
+                # degenerate: nothing on the wire — complete locally now
+                self._op_done(op)
+                return
             if size > 0:
                 wr = SendWR(opcode=Opcode.RDMA_WRITE, local_addr=local_addr,
                             length=size, remote_addr=remote_addr, rkey=rkey,
                             inline=self._inline_ok(size))
-                yield from self._post(peer, wr, on_ack)
-                on_ack = None  # local cid rides on the data write
+                yield from self._post(peer, wr, on_ack, on_error)
             if remote_cid is not None:
-                ring = peer.remote["cmp"]
-                entry = CompletionEntry(seq=ring.produced + 1,
-                                        cid=remote_cid, src=self.rank)
-                yield from self._post_ring_entry(peer, "cmp", entry.pack(),
-                                                 on_ack=on_ack)
-            elif size == 0 and on_ack is not None:
-                # degenerate: nothing on the wire — complete locally now
-                on_ack()
+                yield from self._post_ring_entry(
+                    peer, "cmp",
+                    lambda seq: CompletionEntry(
+                        seq=seq, cid=remote_cid, src=self.rank,
+                        op=op.op_id).pack(),
+                    on_ack=on_ack, on_error=on_error)
+
+        op.replay = replay
+        yield from self._start_attempt(op)
         self.counters.add("photon.pwc_puts")
+        return op.op_id
 
     # ------------------------------------------------------------------ get
     def get_pwc(self, dst: int, local_addr: int, size: int, remote_addr: int,
@@ -92,38 +104,51 @@ class PwcMixin:
 
         ``local_cid`` surfaces when the data has landed locally;
         ``remote_cid`` (if given) is then delivered to the *target* so it
-        can learn its buffer was consumed.
+        can learn its buffer was consumed.  RDMA reads are idempotent, so
+        the reliability layer replays a lost read verbatim.  Returns the
+        reliable-op id (None for self-gets).
         """
         if size <= 0:
             raise SimulationError("get size must be positive")
         if dst == self.rank:
             yield from self._self_get(local_addr, size, remote_addr,
                                       local_cid, remote_cid)
-            return
+            return None
         peer = self._peer(dst)
         yield from self.rcache.acquire(local_addr, size)
+        op = self._new_reliable_op(peer, "get", local_cid)
+        if remote_cid is not None:
+            notify = remote_cid
+            op.on_done = lambda: self.env.process(
+                self._notify_after_get(dst, notify), name="photon:gwc-notify")
 
-        notify = remote_cid
+        def replay(op):
+            on_ack, on_error = self._op_cbs(op, op.attempts)
+            op.acks_pending = 1
+            wr = SendWR(opcode=Opcode.RDMA_READ, local_addr=local_addr,
+                        length=size, remote_addr=remote_addr, rkey=rkey)
+            yield from self._post(peer, wr, on_ack, on_error)
 
-        def on_done():
-            if local_cid is not None:
-                self.local_cids.append(local_cid)
-                self.counters.add("photon.local_cids")
-            if notify is not None:
-                self.env.process(self._notify_after_get(dst, notify),
-                                 name="photon:gwc-notify")
-
-        wr = SendWR(opcode=Opcode.RDMA_READ, local_addr=local_addr,
-                    length=size, remote_addr=remote_addr, rkey=rkey)
-        yield from self._post(peer, wr, on_done)
+        op.replay = replay
+        yield from self._start_attempt(op)
         self.counters.add("photon.pwc_gets")
+        return op.op_id
 
     def _notify_after_get(self, dst: int, remote_cid: int):
         peer = self._peer(dst)
-        ring = peer.remote["cmp"]
-        entry = CompletionEntry(seq=ring.produced + 1, cid=remote_cid,
-                                src=self.rank)
-        yield from self._post_ring_entry(peer, "cmp", entry.pack())
+        op = self._new_reliable_op(peer, "notify", None)
+
+        def replay(op):
+            on_ack, on_error = self._op_cbs(op, op.attempts)
+            op.acks_pending = 1
+            yield from self._post_ring_entry(
+                peer, "cmp",
+                lambda seq: CompletionEntry(seq=seq, cid=remote_cid,
+                                            src=self.rank, op=op.op_id).pack(),
+                on_ack=on_ack, on_error=on_error)
+
+        op.replay = replay
+        yield from self._start_attempt(op)
 
     # ------------------------------------------------------------------ send
     def send_pwc(self, dst: int, data: bytes, remote_cid: int,
@@ -132,7 +157,9 @@ class PwcMixin:
 
         Payload must fit the eager limit; larger transfers use the
         rendezvous API (:meth:`send_rdma`).  Surfaces at the target via
-        :meth:`probe_message` as ``(src, remote_cid, payload)``.
+        :meth:`probe_message` as ``(src, remote_cid, payload)``.  Replays
+        land in a fresh eager slot and are deduped at the target by op id.
+        Returns the reliable-op id (None for self-sends).
         """
         if len(data) > self.config.eager_limit:
             raise SimulationError(
@@ -142,25 +169,29 @@ class PwcMixin:
             yield self.env.timeout(self.memory.memcpy_cost_ns(len(data)))
             self.messages.append((self.rank, remote_cid, bytes(data)))
             if local_cid is not None:
-                self.local_cids.append(local_cid)
+                self.local_cids.append((local_cid, WCStatus.SUCCESS))
             self.counters.add("photon.pwc_sends")
-            return
+            return None
         peer = self._peer(dst)
-        on_ack = None
-        if local_cid is not None:
-            cid = local_cid
+        payload = bytes(data)
+        op = self._new_reliable_op(peer, "send", local_cid)
 
-            def on_ack():
-                self.local_cids.append(cid)
-                self.counters.add("photon.local_cids")
+        def replay(op):
+            on_ack, on_error = self._op_cbs(op, op.attempts)
+            op.acks_pending = 1
 
-        ring = peer.remote["eager"]
-        seq = ring.produced + 1
-        header = EagerHeader(seq=seq, cid=remote_cid, src=self.rank,
-                             size=len(data))
-        entry = header.pack() + bytes(data) + seq.to_bytes(8, "little")
-        yield from self._post_ring_entry(peer, "eager", entry, on_ack=on_ack)
+            def build(seq):
+                header = EagerHeader(seq=seq, cid=remote_cid, src=self.rank,
+                                     size=len(payload), op=op.op_id)
+                return header.pack() + payload + seq.to_bytes(8, "little")
+
+            yield from self._post_ring_entry(peer, "eager", build,
+                                             on_ack=on_ack, on_error=on_error)
+
+        op.replay = replay
+        yield from self._start_attempt(op)
         self.counters.add("photon.pwc_sends")
+        return op.op_id
 
     # ------------------------------------------------------------------ probes
     def probe_completion(self, which: str = "any"):
@@ -184,7 +215,8 @@ class PwcMixin:
             cid, src = self.remote_cids.popleft()
             return Completion("remote", cid, src)
         if which in ("any", "local") and self.local_cids:
-            return Completion("local", self.local_cids.popleft(), self.rank)
+            cid, status = self.local_cids.popleft()
+            return Completion("local", cid, self.rank, status)
         return None
 
     def wait_completion(self, which: str = "any",
@@ -233,7 +265,7 @@ class PwcMixin:
         if size:
             self.memory.write(remote_addr, data)
         if local_cid is not None:
-            self.local_cids.append(local_cid)
+            self.local_cids.append((local_cid, WCStatus.SUCCESS))
         if remote_cid is not None:
             self.remote_cids.append((remote_cid, self.rank))
 
@@ -242,7 +274,7 @@ class PwcMixin:
         yield self.env.timeout(self.memory.memcpy_cost_ns(size))
         self.memory.write(local_addr, data)
         if local_cid is not None:
-            self.local_cids.append(local_cid)
+            self.local_cids.append((local_cid, WCStatus.SUCCESS))
         if remote_cid is not None:
             self.remote_cids.append((remote_cid, self.rank))
 

@@ -39,10 +39,14 @@ class RdmaMixin:
         def on_ack():
             self.requests.complete(rid, self.env.now)
 
+        def on_error():
+            self.counters.add("photon.request_failures")
+            self.requests.fail(rid, self.env.now)
+
         wr = SendWR(opcode=Opcode.RDMA_WRITE, local_addr=local_addr,
                     length=size, remote_addr=remote_addr, rkey=rkey,
                     inline=self._inline_ok(size))
-        yield from self._post(peer, wr, on_ack)
+        yield from self._post(peer, wr, on_ack, on_error)
         self.counters.add("photon.os_puts")
         return req.rid
 
@@ -65,50 +69,61 @@ class RdmaMixin:
         def on_ack():
             self.requests.complete(rid, self.env.now)
 
+        def on_error():
+            self.counters.add("photon.request_failures")
+            self.requests.fail(rid, self.env.now)
+
         wr = SendWR(opcode=Opcode.RDMA_READ, local_addr=local_addr,
                     length=size, remote_addr=remote_addr, rkey=rkey)
-        yield from self._post(peer, wr, on_ack)
+        yield from self._post(peer, wr, on_ack, on_error)
         self.counters.add("photon.os_gets")
         return req.rid
 
     # ------------------------------------------------------------------ waits
     def test(self, rid: int) -> bool:
-        """Non-blocking completion check (no progress, zero time)."""
-        return self.requests.get(rid).completed
+        """Non-blocking settlement check (no progress, zero time).
+
+        True once the request is terminal — completed *or* failed; check
+        :meth:`request_info` ``.failed`` to distinguish.
+        """
+        return self.requests.get(rid).settled
 
     def wait(self, rid: int, timeout_ns: Optional[int] = None):
-        """Poll progress until the request completes (generator).
+        """Poll progress until the request settles (generator).
 
-        Returns True, or False on timeout.  The request stays live until
-        :meth:`free_request`.
+        Returns a truthy :class:`~repro.photon.base.TimeoutStatus` once
+        the request is terminal (completed or failed — a request whose
+        fabric retries were exhausted settles as failed instead of
+        hanging the wait), falsy on timeout.  The request stays live
+        until :meth:`free_request`.
         """
         ok = yield from self._wait_until(
-            lambda: self.requests.get(rid).completed, timeout_ns)
+            lambda: self.requests.get(rid).settled, timeout_ns)
         return ok
 
     def wait_all(self, rids, timeout_ns: Optional[int] = None):
-        """Wait for a set of requests (generator)."""
+        """Wait for a set of requests to settle (generator)."""
         ok = yield from self._wait_until(
-            lambda: all(self.requests.get(r).completed for r in rids),
+            lambda: all(self.requests.get(r).settled for r in rids),
             timeout_ns)
         return ok
 
     def wait_any(self, rids, timeout_ns: Optional[int] = None):
         """Wait for at least one of a set of requests (generator).
 
-        Returns the first completed request id (earliest in ``rids``), or
+        Returns the first settled request id (earliest in ``rids``), or
         None on timeout.
         """
         rids = list(rids)
         if not rids:
             raise SimulationError("wait_any of an empty request set")
         ok = yield from self._wait_until(
-            lambda: any(self.requests.get(r).completed for r in rids),
+            lambda: any(self.requests.get(r).settled for r in rids),
             timeout_ns)
         if not ok:
             return None
         for r in rids:
-            if self.requests.get(r).completed:
+            if self.requests.get(r).settled:
                 return r
         raise SimulationError("wait_any postcondition violated")
 

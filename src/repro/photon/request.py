@@ -26,6 +26,8 @@ class RequestKind(enum.Enum):
 class RequestState(enum.Enum):
     PENDING = "pending"
     COMPLETED = "completed"
+    #: the underlying fabric gave up (transport retries exhausted)
+    FAILED = "failed"
     FREED = "freed"
 
 
@@ -49,6 +51,15 @@ class PhotonRequest:
     @property
     def completed(self) -> bool:
         return self.state is RequestState.COMPLETED
+
+    @property
+    def failed(self) -> bool:
+        return self.state is RequestState.FAILED
+
+    @property
+    def settled(self) -> bool:
+        """Terminal either way — what blocking waits should poll for."""
+        return self.state in (RequestState.COMPLETED, RequestState.FAILED)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<PhotonRequest {self.rid} {self.kind.value} peer={self.peer} "
@@ -81,10 +92,23 @@ class RequestTable:
 
     def complete(self, rid: int, now: int) -> PhotonRequest:
         req = self.get(rid)
+        if req.state is RequestState.FAILED:
+            return req  # late FIN/ack for a request the fabric gave up on
         if req.state is not RequestState.PENDING:
             raise SimulationError(f"request {rid} completed twice")
         req.state = RequestState.COMPLETED
         req.t_completed = now
+        return req
+
+    def fail(self, rid: int, now: int) -> PhotonRequest:
+        """Mark a request terminally failed (idempotent, loses to complete)."""
+        req = self._live.get(rid)
+        if req is None:
+            # already freed — nothing to record
+            return None
+        if req.state is RequestState.PENDING:
+            req.state = RequestState.FAILED
+            req.t_completed = now
         return req
 
     def free(self, rid: int) -> None:

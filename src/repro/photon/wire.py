@@ -22,13 +22,15 @@ __all__ = [
     "FIN_ENTRY_SIZE", "CREDIT_WORD_SIZE",
 ]
 
-# seq(8) cid(8) src(4) pad(4)
-_COMPLETION = struct.Struct("<QQi4x")
-COMPLETION_ENTRY_SIZE = _COMPLETION.size  # 24
+# seq(8) cid(8) src(4) pad(4) op(8)
+# ``op`` is the per-(producer, consumer) reliable-operation id used to
+# dedup replayed entries at the target ledger; 0 = unsequenced.
+_COMPLETION = struct.Struct("<QQi4xQ")
+COMPLETION_ENTRY_SIZE = _COMPLETION.size  # 32
 
-# seq(8) cid(8) src(4) size(4)
-_EAGER_HDR = struct.Struct("<QQii")
-EAGER_HEADER_SIZE = _EAGER_HDR.size  # 24
+# seq(8) cid(8) src(4) size(4) op(8)
+_EAGER_HDR = struct.Struct("<QQiiQ")
+EAGER_HEADER_SIZE = _EAGER_HDR.size  # 32
 
 # seq(8) req(8) tag(8) addr(8) size(8) rkey(8) src(4) pad(4)
 _INFO = struct.Struct("<QQQQQQi4x")
@@ -49,14 +51,16 @@ class CompletionEntry:
     seq: int
     cid: int
     src: int
+    #: reliable-operation id for replay dedup (0 = unsequenced)
+    op: int = 0
 
     def pack(self) -> bytes:
-        return _COMPLETION.pack(self.seq, self.cid, self.src)
+        return _COMPLETION.pack(self.seq, self.cid, self.src, self.op)
 
     @staticmethod
     def unpack(raw: bytes) -> "CompletionEntry":
-        seq, cid, src = _COMPLETION.unpack(raw)
-        return CompletionEntry(seq, cid, src)
+        seq, cid, src, op = _COMPLETION.unpack(raw)
+        return CompletionEntry(seq, cid, src, op)
 
 
 @dataclass(frozen=True)
@@ -67,14 +71,17 @@ class EagerHeader:
     cid: int
     src: int
     size: int
+    #: reliable-operation id for replay dedup (0 = unsequenced)
+    op: int = 0
 
     def pack(self) -> bytes:
-        return _EAGER_HDR.pack(self.seq, self.cid, self.src, self.size)
+        return _EAGER_HDR.pack(self.seq, self.cid, self.src, self.size,
+                               self.op)
 
     @staticmethod
     def unpack(raw: bytes) -> "EagerHeader":
-        seq, cid, src, size = _EAGER_HDR.unpack(raw)
-        return EagerHeader(seq, cid, src, size)
+        seq, cid, src, size, op = _EAGER_HDR.unpack(raw)
+        return EagerHeader(seq, cid, src, size, op)
 
 
 @dataclass(frozen=True)

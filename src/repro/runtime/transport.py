@@ -18,27 +18,63 @@ raw | None``, so the scheduler and the applications are transport-blind.
 from __future__ import annotations
 
 from collections import deque
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..minimpi.comm import Comm
 from ..minimpi.protocol import MPIRequest
 from ..photon.api import Photon
 from ..sim.core import SimulationError
+from ..verbs.enums import WCStatus
 
-__all__ = ["PhotonTransport", "MpiTransport", "PARCEL_TAG"]
+__all__ = ["PhotonTransport", "MpiTransport", "PeerDownError", "PARCEL_TAG"]
 
 #: reserved tag/cid space for parcel traffic
 PARCEL_TAG = (1 << 50) + 7
 
 
+class PeerDownError(SimulationError):
+    """Raised by ``send`` when the peer's circuit breaker is open."""
+
+    def __init__(self, rank: int, peer: int):
+        super().__init__(f"rank {rank}: peer {peer} marked down "
+                         "(circuit breaker open)")
+        self.peer = peer
+
+
+class _PeerHealth:
+    """Circuit-breaker state for one destination rank."""
+
+    __slots__ = ("failures", "state", "open_until")
+
+    def __init__(self):
+        self.failures = 0
+        self.state = "closed"  # closed | open | half-open
+        self.open_until = 0
+
+
 class PhotonTransport:
-    """Parcels over Photon PWC (eager) + rendezvous (large)."""
+    """Parcels over Photon PWC (eager) + rendezvous (large).
+
+    The transport layers delivery guarantees on top of Photon's own
+    retry/recovery: eager parcels whose reliable op fails are re-sent (up
+    to ``max_send_retries`` extra attempts), failed rendezvous fetches are
+    reposted, and a per-peer circuit breaker trips after
+    ``breaker_threshold`` consecutive failures — further sends to that
+    peer fail fast with :class:`PeerDownError` until
+    ``breaker_cooldown_ns`` elapses, after which one half-open probe send
+    decides whether the peer is back.
+    """
 
     def __init__(self, photon: Photon, max_parcel: int = 1 << 20,
-                 scratch_slots: int = 8):
+                 scratch_slots: int = 8, max_send_retries: int = 2,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown_ns: int = 2_000_000):
         self.ph = photon
         self.rank = photon.rank
         self.max_parcel = max_parcel
+        self.max_send_retries = max_send_retries
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_ns = breaker_cooldown_ns
         # staging ring for rendezvous-size parcels (send side), plus one
         # landing buffer (recv side)
         self._send_slots = [photon.buffer(max_parcel)
@@ -51,24 +87,77 @@ class PhotonTransport:
         self._landings = [photon.buffer(max_parcel)
                           for _ in range(scratch_slots)]
         self._free_landings = list(range(scratch_slots))
-        #: in-flight fetches: (request id, landing index, RecvInfo)
+        #: in-flight fetches: (request id, landing index, RecvInfo, attempts)
         self._fetches: deque = deque()
+        #: in-flight eager parcels: (dst, op id, raw, resends so far)
+        self._eager_ops: deque = deque()
+        self._health: Dict[int, _PeerHealth] = {}
 
+    # --------------------------------------------------------- circuit breaker
+    def _peer_health(self, dst: int) -> _PeerHealth:
+        h = self._health.get(dst)
+        if h is None:
+            h = self._health[dst] = _PeerHealth()
+        return h
+
+    def peer_is_down(self, dst: int) -> bool:
+        """True while the breaker is open and the cooldown has not expired."""
+        h = self._health.get(dst)
+        return (h is not None and h.state == "open"
+                and self.ph.env.now < h.open_until)
+
+    def _record_failure(self, dst: int) -> None:
+        h = self._peer_health(dst)
+        h.failures += 1
+        if h.state == "half-open" or h.failures >= self.breaker_threshold:
+            if h.state != "open":
+                self.ph.counters.add("transport.peer_down")
+            h.state = "open"
+            h.open_until = self.ph.env.now + self.breaker_cooldown_ns
+
+    def _record_success(self, dst: int) -> None:
+        h = self._peer_health(dst)
+        h.failures = 0
+        if h.state != "closed":
+            h.state = "closed"
+            self.ph.counters.add("transport.peer_up")
+
+    def _check_breaker(self, dst: int) -> None:
+        h = self._peer_health(dst)
+        if h.state == "open":
+            if self.ph.env.now < h.open_until:
+                self.ph.counters.add("transport.fast_fails")
+                raise PeerDownError(self.rank, dst)
+            # cooldown elapsed: let exactly this send probe the peer
+            h.state = "half-open"
+
+    # ----------------------------------------------------------------- send
     def send(self, dst: int, raw: bytes):
-        """Ship one encoded parcel (generator)."""
+        """Ship one encoded parcel (generator).
+
+        Raises :class:`PeerDownError` without touching the wire when the
+        destination's circuit breaker is open.
+        """
         if len(raw) > self.max_parcel:
             raise SimulationError(
                 f"parcel of {len(raw)}B exceeds transport max "
                 f"{self.max_parcel}B")
+        self._check_breaker(dst)
         if len(raw) <= self.ph.config.eager_limit:
-            yield from self.ph.send_pwc(dst, raw, remote_cid=PARCEL_TAG)
+            op = yield from self.ph.send_pwc(dst, raw, remote_cid=PARCEL_TAG)
+            if op is not None:
+                self._eager_ops.append((dst, op, bytes(raw), 0))
         else:
             idx = self._send_cursor
             self._send_cursor = (self._send_cursor + 1) % len(self._send_slots)
             old = self._slot_rids[idx]
             if old is not None:
-                # slot reuse: the prior advertisement must have been fetched
+                # slot reuse: the prior advertisement must have settled
                 yield from self.ph.wait(old)
+                prior = self.ph.request_info(old)
+                if prior.failed:
+                    self.ph.counters.add("transport.parcel_failures")
+                    self._record_failure(prior.peer)
                 self.ph.free_request(old)
             slot = self._send_slots[idx]
             self.ph.memory.write(slot.addr, raw)
@@ -78,13 +167,44 @@ class PhotonTransport:
                                                tag=PARCEL_TAG)
             self._slot_rids[idx] = rid
 
+    def _reap_eager(self):
+        """Settle tracked eager ops; returns parcels needing a resend."""
+        resend = []
+        still: deque = deque()
+        while self._eager_ops:
+            dst, op, raw, attempts = self._eager_ops.popleft()
+            st = self.ph.op_status(dst, op)
+            if st is None:
+                still.append((dst, op, raw, attempts))
+                continue
+            self.ph.free_op(dst, op)
+            if st is WCStatus.SUCCESS:
+                self._record_success(dst)
+                continue
+            self._record_failure(dst)
+            if attempts < self.max_send_retries and not self.peer_is_down(dst):
+                self.ph.counters.add("transport.parcel_resends")
+                resend.append((dst, raw, attempts + 1))
+            else:
+                self.ph.counters.add("transport.parcel_failures")
+        self._eager_ops = still
+        return resend
+
+    # ----------------------------------------------------------------- poll
     def poll(self):
         """One progress pass; returns an encoded parcel or None (generator).
 
         Large parcels arrive as rendezvous advertisements; fetches are
         issued concurrently into the landing ring (pipelined, like an
         irecv window) and completed ones are handed out in issue order.
+        Failed sends/fetches detected here drive the retry and breaker
+        machinery.
         """
+        # settle eager sends and re-ship the ones Photon gave up on
+        for dst, raw, attempts in self._reap_eager():
+            op = yield from self.ph.send_pwc(dst, raw, remote_cid=PARCEL_TAG)
+            if op is not None:
+                self._eager_ops.append((dst, op, raw, attempts))
         got = yield from self.ph.probe_message(
             lambda s, c: c == PARCEL_TAG)
         if got is not None:
@@ -98,11 +218,26 @@ class PhotonTransport:
             rid = yield from self.ph.post_os_get(
                 info.src, self._landings[idx].addr, info.size,
                 info.addr, info.rkey)
-            self._fetches.append((rid, idx, info))
-        # hand out the oldest completed fetch
+            self._fetches.append((rid, idx, info, 0))
+        # hand out the oldest settled fetch
         if self._fetches and self.ph.test(self._fetches[0][0]):
-            rid, idx, info = self._fetches.popleft()
+            rid, idx, info, attempts = self._fetches.popleft()
+            failed = self.ph.request_info(rid).failed
             self.ph.free_request(rid)
+            if failed:
+                self.ph.counters.add("transport.fetch_failures")
+                self._record_failure(info.src)
+                if attempts < self.max_send_retries:
+                    # the read is idempotent — repost into the same landing
+                    rid = yield from self.ph.post_os_get(
+                        info.src, self._landings[idx].addr, info.size,
+                        info.addr, info.rkey)
+                    self._fetches.append((rid, idx, info, attempts + 1))
+                else:
+                    self._free_landings.append(idx)
+                    self.ph.counters.add("transport.parcel_failures")
+                return None
+            self._record_success(info.src)
             raw = self.ph.memory.read(self._landings[idx].addr, info.size)
             yield self.ph.env.timeout(
                 self.ph.memory.memcpy_cost_ns(info.size))
@@ -115,9 +250,8 @@ class PhotonTransport:
         """Complete the sender's rendezvous request (generator)."""
         from ..photon.wire import FinEntry
         peer = self.ph._peer(info.src)
-        ring = peer.remote["fin"]
-        fin = FinEntry(seq=ring.produced + 1, req=info.req)
-        yield from self.ph._post_ring_entry(peer, "fin", fin.pack())
+        yield from self.ph._post_ring_entry(
+            peer, "fin", lambda seq: FinEntry(seq=seq, req=info.req).pack())
 
 
 class MpiTransport:

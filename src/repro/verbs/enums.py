@@ -34,6 +34,10 @@ class WCStatus(enum.Enum):
     LOC_LEN_ERR = "local_length_error"
     REM_ACCESS_ERR = "remote_access_error"
     CQ_OVERRUN = "cq_overrun"
+    #: transport retry count exceeded — the fabric gave up on the message
+    RETRY_EXC_ERR = "retry_exceeded"
+    #: work request flushed because its QP entered the ERROR state
+    WR_FLUSH_ERR = "wr_flush_error"
 
 
 class Access(enum.Flag):

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Optional
+from typing import Deque, Dict, Optional, Tuple
 
 from ..fabric.nic import CTRL_BYTES, WireMsg
 from .cq import CompletionQueue, WorkCompletion
@@ -41,6 +41,19 @@ from .errors import (
 __all__ = ["SendWR", "RecvWR", "QueuePair", "connect_pair"]
 
 _U64_MASK = (1 << 64) - 1
+
+_WC_OPCODES = {
+    Opcode.SEND: WCOpcode.SEND,
+    Opcode.RDMA_WRITE: WCOpcode.RDMA_WRITE,
+    Opcode.RDMA_WRITE_WITH_IMM: WCOpcode.RDMA_WRITE,
+    Opcode.RDMA_READ: WCOpcode.RDMA_READ,
+    Opcode.ATOMIC_FETCH_ADD: WCOpcode.ATOMIC,
+    Opcode.ATOMIC_CMP_SWAP: WCOpcode.ATOMIC,
+}
+
+
+def _wc_opcode(op: Opcode) -> WCOpcode:
+    return _WC_OPCODES[op]
 
 
 @dataclass
@@ -95,6 +108,10 @@ class QueuePair:
         self._rq: Deque[RecvWR] = deque()
         #: messages that arrived before a receive was posted (RNR)
         self._rnr: Deque[WireMsg] = deque()
+        #: in-flight send WRs by tracking token — the flush set when the QP
+        #: enters ERROR, and the guard that late wire callbacks check
+        self._pending: Dict[int, Tuple[SendWR, WCOpcode]] = {}
+        self._wr_token = 0
 
     # -- connection ------------------------------------------------------------
     def connect(self, peer: "QueuePair") -> None:
@@ -147,6 +164,15 @@ class QueuePair:
 
     def post_send(self, wr: SendWR) -> None:
         """Validate, account and hand the WR to the NIC (zero host time)."""
+        if self.state is QPState.ERROR:
+            # real RC behaviour: posting to an errored QP immediately
+            # flushes the WR (error completions are always signalled)
+            self.context.counters.add("qp.flushes")
+            self.send_cq.push(WorkCompletion(
+                wr_id=wr.wr_id, opcode=_wc_opcode(wr.opcode),
+                status=WCStatus.WR_FLUSH_ERR, src_rank=self.remote_rank,
+                qp_num=self.qp_num))
+            return
         if self.state is not QPState.READY:
             raise NotConnected("post_send on unconnected QP")
         if self._sq_outstanding >= self.max_send_wr:
@@ -191,17 +217,83 @@ class QueuePair:
         base = wr.local_addr
         return lambda off, size: mem.read(base + off, size)
 
-    def _source_complete(self, wr: SendWR, wc_opcode: WCOpcode):
-        """Callback releasing the SQ slot and raising the source CQE."""
+    def _source_callbacks(self, wr: SendWR, wc_opcode: WCOpcode):
+        """(done, fail) callback pair for one tracked send WR.
+
+        Exactly one of the two takes effect; whichever fires second (a late
+        wire event after a flush, say) finds the token gone and is ignored.
+        """
+        self._wr_token += 1
+        token = self._wr_token
+        self._pending[token] = (wr, wc_opcode)
 
         def done():
+            if self._pending.pop(token, None) is None:
+                return
             self._sq_outstanding -= 1
             if wr.signaled:
                 self.send_cq.push(WorkCompletion(
                     wr_id=wr.wr_id, opcode=wc_opcode, byte_len=wr.length,
                     src_rank=self.remote_rank, qp_num=self.qp_num))
 
-        return done
+        def fail():
+            if self._pending.pop(token, None) is None:
+                return
+            self._sq_outstanding -= 1
+            self.context.counters.add("qp.wr_errors")
+            self.send_cq.push(WorkCompletion(
+                wr_id=wr.wr_id, opcode=wc_opcode,
+                status=WCStatus.RETRY_EXC_ERR, src_rank=self.remote_rank,
+                qp_num=self.qp_num))
+            self._enter_error()
+
+        return done, fail
+
+    # -- error state -----------------------------------------------------------
+    def _enter_error(self) -> None:
+        """Transition to ERROR and flush everything outstanding.
+
+        All pending send WRs and posted receives complete with
+        ``WR_FLUSH_ERR``; RNR-parked messages are dropped (the connection
+        is considered torn down).
+        """
+        if self.state is QPState.ERROR:
+            return
+        self.state = QPState.ERROR
+        self.context.counters.add("qp.errors")
+        for wr, wc_opcode in self._pending.values():
+            self._sq_outstanding -= 1
+            self.context.counters.add("qp.flushes")
+            self.send_cq.push(WorkCompletion(
+                wr_id=wr.wr_id, opcode=wc_opcode,
+                status=WCStatus.WR_FLUSH_ERR, src_rank=self.remote_rank,
+                qp_num=self.qp_num))
+        self._pending.clear()
+        for rwr in self._rq:
+            self.context.counters.add("qp.flushes")
+            self.recv_cq.push(WorkCompletion(
+                wr_id=rwr.wr_id, opcode=WCOpcode.RECV,
+                status=WCStatus.WR_FLUSH_ERR, src_rank=self.remote_rank,
+                qp_num=self.qp_num))
+        self._rq.clear()
+        self._rnr.clear()
+
+    def reset_and_reconnect(self) -> None:
+        """Re-arm an errored connection (both ends back to READY).
+
+        The errored side has already flushed its queues in
+        :meth:`_enter_error`; a healthy peer keeps its in-flight state (in
+        this model the wire is connectionless — QP state only gates
+        posting and delivery).  Receives must be re-posted by the user.
+        """
+        if self.peer is None:
+            raise NotConnected("reset_and_reconnect needs a connected pair")
+        for qp in (self, self.peer):
+            if qp.state is QPState.ERROR:
+                qp._pending.clear()
+                qp._rnr.clear()
+            qp.state = QPState.READY
+        self.context.counters.add("qp.reconnects")
 
     def _build_send(self, wr: SendWR) -> WireMsg:
         inline_data = None
@@ -213,11 +305,12 @@ class QueuePair:
             else:
                 fetch = self._local_fetch(wr)
         peer = self.peer
+        done, fail = self._source_callbacks(wr, WCOpcode.SEND)
         msg = WireMsg(
             src=self.context.rank, dst=self.remote_rank, nbytes=wr.length,
             kind="send", fetch=fetch, inline_data=inline_data,
             on_delivered=lambda nic, m: peer._on_send_arrival(m),
-            on_acked=self._source_complete(wr, WCOpcode.SEND),
+            on_acked=done, on_error=fail,
             ack=True, meta={"imm": wr.imm})
         return msg
 
@@ -237,6 +330,7 @@ class QueuePair:
         base = wr.remote_addr
         with_imm = wr.opcode is Opcode.RDMA_WRITE_WITH_IMM
         peer = self.peer
+        done, fail = self._source_callbacks(wr, WCOpcode.RDMA_WRITE)
         msg = WireMsg(
             src=self.context.rank, dst=self.remote_rank, nbytes=wr.length,
             kind="write_imm" if with_imm else "write",
@@ -244,7 +338,7 @@ class QueuePair:
             place=lambda off, data: tmem.write(base + off, data),
             on_delivered=(lambda nic, m: peer._on_imm_arrival(m))
             if with_imm else None,
-            on_acked=self._source_complete(wr, WCOpcode.RDMA_WRITE),
+            on_acked=done, on_error=fail,
             ack=True, meta={"imm": wr.imm})
         return msg
 
@@ -256,20 +350,22 @@ class QueuePair:
         lmem = self.context.memory
         tmem = target.memory
         lbase, rbase, length = wr.local_addr, wr.remote_addr, wr.length
-        complete = self._source_complete(wr, WCOpcode.RDMA_READ)
+        complete, fail = self._source_callbacks(wr, WCOpcode.RDMA_READ)
         me = self.context.rank
         remote = self.remote_rank
 
         def on_request(target_nic, m):
+            # a lost response fails the requester's WR, like a lost request
             resp = WireMsg(
                 src=remote, dst=me, nbytes=length, kind="read_resp",
                 fetch=lambda off, size: tmem.read(rbase + off, size),
                 place=lambda off, data: lmem.write(lbase + off, data),
-                on_delivered=lambda nic, m2: complete())
+                on_delivered=lambda nic, m2: complete(),
+                on_error=fail)
             target_nic.respond(resp)
 
         return WireMsg(src=me, dst=remote, nbytes=0, kind="read_req",
-                       on_delivered=on_request)
+                       on_delivered=on_request, on_error=fail)
 
     def _build_atomic(self, wr: SendWR) -> WireMsg:
         if wr.length not in (0, 8):
@@ -283,7 +379,7 @@ class QueuePair:
         lbase, rbase = wr.local_addr, wr.remote_addr
         op = wr.opcode
         compare_add, swap = wr.compare_add, wr.swap
-        complete = self._source_complete(wr, WCOpcode.ATOMIC)
+        complete, fail = self._source_callbacks(wr, WCOpcode.ATOMIC)
         me = self.context.rank
         remote = self.remote_rank
         atomic_ns = target.params.nic.atomic_ns
@@ -302,7 +398,8 @@ class QueuePair:
                     src=remote, dst=me, nbytes=8, kind="atomic_resp",
                     inline_data=old.to_bytes(8, "little"),
                     place=lambda off, data: lmem.write(lbase + off, data),
-                    on_delivered=lambda nic, m2: complete())
+                    on_delivered=lambda nic, m2: complete(),
+                    on_error=fail)
                 target_nic.respond(resp)
 
             env.process(respond(), name="qp:atomic")
@@ -310,7 +407,7 @@ class QueuePair:
         # the atomic request carries its operands (16 bytes on the wire is
         # folded into CTRL_BYTES)
         return WireMsg(src=me, dst=remote, nbytes=0, kind="atomic_req",
-                       on_delivered=on_request)
+                       on_delivered=on_request, on_error=fail)
 
     # -- target-side arrivals ------------------------------------------------------
     def _on_send_arrival(self, msg: WireMsg) -> None:
@@ -330,6 +427,13 @@ class QueuePair:
         self._deliver_to_rq(msg)
 
     def _deliver_to_rq(self, msg: WireMsg) -> None:
+        if self.state is not QPState.READY:
+            # flushed while an RNR drain was in flight — drop on the floor
+            self.context.counters.add("verbs.dropped_arrivals")
+            return
+        if not self._rq:
+            self._rnr.append(msg)
+            return
         wr = self._rq.popleft()
         status = WCStatus.SUCCESS
         byte_len = msg.nbytes

@@ -52,7 +52,7 @@ def test_fin_entry_roundtrip():
 # ------------------------------------------------------------- rings
 
 
-def ring_fixture(nslots=4, entry=24):
+def ring_fixture(nslots=4, entry=COMPLETION_ENTRY_SIZE):
     mem = Memory(1 << 16, IB_FDR.host)
     spec = RingSpec("t", nslots, entry)
     remote_base = mem.alloc(spec.nbytes)

@@ -6,7 +6,13 @@ from repro.cluster import build_cluster
 from repro.fabric import IB_FDR, Memory
 from repro.photon import photon_init
 from repro.photon.ledger import LocalRing, RemoteRing, RingSpec
-from repro.photon.wire import CompletionEntry, EagerHeader, FinEntry, InfoEntry
+from repro.photon.wire import (
+    COMPLETION_ENTRY_SIZE,
+    CompletionEntry,
+    EagerHeader,
+    FinEntry,
+    InfoEntry,
+)
 
 
 # ---------------------------------------------------------------- wire
@@ -50,7 +56,7 @@ def test_ring_produced_consumed_invariant(nslots, ops):
     """Random interleavings of produce/consume never violate
     0 <= produced - consumed <= nslots, and sequences stay dense."""
     mem = Memory(1 << 18, IB_FDR.host)
-    spec = RingSpec("p", nslots, 24)
+    spec = RingSpec("p", nslots, COMPLETION_ENTRY_SIZE)
     base = mem.alloc(spec.nbytes)
     staging = mem.alloc(spec.nbytes)
     credit = mem.alloc(8)
