@@ -17,9 +17,10 @@ import time
 
 from .experiments import ALL
 
-#: fast, representative subset for CI: a latency microbench, a fabric
+#: fast, representative subset for CI: a latency microbench, the
+#: registration-cache checks (incl. the pin-leak balance), a fabric
 #: validation, and the fault-domain sweep
-SMOKE = ["r1", "r14", "r17"]
+SMOKE = ["r1", "r6", "r14", "r17"]
 
 
 def main(argv=None) -> int:

@@ -13,7 +13,8 @@ loop so the accounting lives where the time is spent.
 from __future__ import annotations
 
 import math
-from typing import Set
+from collections import Counter
+from typing import Counter as CounterT
 
 from ..sim.core import SimulationError
 from .params import HostParams
@@ -40,7 +41,11 @@ class Memory:
         self.rank = rank
         self.data = bytearray(size)
         self._brk = 0
-        self._pinned_pages: Set[int] = set()
+        #: page -> number of registrations pinning it.  Refcounted so
+        #: overlapping MRs (the registration cache merges and splits
+        #: regions) account correctly: a page stays pinned until the last
+        #: registration covering it is dropped.
+        self._pinned_pages: CounterT[int] = Counter()
 
     # -- allocation ----------------------------------------------------------
     def alloc(self, size: int, align: int = 8) -> int:
@@ -107,7 +112,12 @@ class Memory:
 
     def unpin(self, addr: int, length: int) -> None:
         self._check(addr, length)
-        self._pinned_pages.difference_update(self._page_range(addr, length))
+        for p in self._page_range(addr, length):
+            n = self._pinned_pages.get(p, 0)
+            if n <= 1:
+                self._pinned_pages.pop(p, None)
+            else:
+                self._pinned_pages[p] = n - 1
 
     @property
     def pinned_pages(self) -> int:

@@ -49,7 +49,7 @@ class MPIRequest:
     """Handle for a non-blocking operation."""
 
     __slots__ = ("rid", "kind", "done", "status", "t_posted", "t_completed",
-                 "error")
+                 "error", "on_settle")
     _ids = itertools.count(1)
 
     def __init__(self, kind: str, now: int):
@@ -61,16 +61,25 @@ class MPIRequest:
         self.t_completed = -1
         #: None, or the error the transport gave up with ("retry_exceeded")
         self.error: Optional[str] = None
+        #: fired exactly once when the request turns terminal — resource
+        #: cleanup hook (rcache release)
+        self.on_settle: Optional[Callable[[], None]] = None
 
     @property
     def failed(self) -> bool:
         return self.error is not None
+
+    def _settle(self) -> None:
+        hook, self.on_settle = self.on_settle, None
+        if hook is not None:
+            hook()
 
     def complete(self, now: int) -> None:
         if self.done:
             raise SimulationError(f"request {self.rid} completed twice")
         self.done = True
         self.t_completed = now
+        self._settle()
 
     def fail(self, now: int, error: str = "retry_exceeded") -> None:
         """Settle the request with an error so waits unblock."""
@@ -79,6 +88,7 @@ class MPIRequest:
         self.error = error
         self.done = True
         self.t_completed = now
+        self._settle()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = ("failed" if self.failed
@@ -116,7 +126,8 @@ class Engine:
         self.recv_cq = self.context.create_cq(capacity=depth)
         self.rcache = RegistrationCache(
             self.context, self.pd, capacity=config.rcache_capacity,
-            enabled=config.rcache_enabled)
+            enabled=config.rcache_enabled,
+            max_pinned_bytes=config.rcache_max_pinned_bytes)
         self.matcher = MatchEngine()
         self.peers: Dict[int, _PeerChannel] = {}
         self.live_requests: Dict[int, MPIRequest] = {}
@@ -260,6 +271,8 @@ class Engine:
         slot = yield from self._acquire_slot(ch)
         raw = HDR.pack(KIND_RTS, tag, size, req.rid, addr, mr.rkey)
         rid = req.rid
+        # pinned until the receiver fetched + FINed (or the send failed)
+        req.on_settle = lambda: self.rcache.release_async(mr)
 
         def on_fail():
             # the advertisement never arrived: no FIN will ever come back
@@ -324,12 +337,13 @@ class Engine:
             raise SimulationError(
                 f"rank {self.rank}: rendezvous message of {msg.size}B "
                 f"truncates {posted.length}B receive")
-        yield from self.rcache.acquire(posted.addr, msg.size)
+        mr = yield from self.rcache.acquire(posted.addr, msg.size)
         req = posted.request
         src, tag, size, sreq = msg.src, msg.tag, msg.size, msg.sreq
         state = {"attempts": 0}
 
         def done():
+            self.rcache.release_async(mr)
             req.status = Status(source=src, tag=tag, count=size)
             req.complete(self.env.now)
             self.env.process(self._send_fin(src, sreq), name="mpi:fin")
@@ -341,6 +355,7 @@ class Engine:
                 self.counters.add("mpi.fetch_retries")
                 self.env.process(post_once(), name="mpi:refetch")
             else:
+                self.rcache.release_async(mr)
                 self.counters.add("mpi.recv_failures")
                 req.status = Status(source=src, tag=tag, count=0)
                 req.fail(self.env.now)

@@ -60,7 +60,7 @@ class Win:
                 f"{self.size}-byte window")
         return raddr + offset, rkey
 
-    def _post(self, rank: int, wr: SendWR):
+    def _post(self, rank: int, wr: SendWR, mr=None):
         if rank == self.comm.rank:
             raise SimulationError(
                 "loopback window access: use local memory directly")
@@ -68,38 +68,47 @@ class Win:
 
         def done():
             self._pending -= 1
+            if mr is not None:
+                self.engine.rcache.release_async(mr)
+
+        def error():
+            # a failed WR still settles the epoch accounting and unpins,
+            # otherwise fence/flush would wait forever on a lossy fabric
+            self.engine.counters.add("mpi.rma_failures")
+            done()
 
         wr.wr_id = next(self.engine._wr_seq)
         self.engine._ops[wr.wr_id] = done
+        self.engine._op_errors[wr.wr_id] = error
         ch = self.engine._peer(rank)
         yield from ch.qp.post_send_timed(wr)
 
     def put(self, local_addr: int, size: int, rank: int, offset: int = 0):
         """One-sided put into ``rank``'s window (generator)."""
         raddr, rkey = self._target(rank, offset, size)
-        yield from self.engine.rcache.acquire(local_addr, size)
+        mr = yield from self.engine.rcache.acquire(local_addr, size)
         wr = SendWR(opcode=Opcode.RDMA_WRITE, local_addr=local_addr,
                     length=size, remote_addr=raddr, rkey=rkey)
-        yield from self._post(rank, wr)
+        yield from self._post(rank, wr, mr)
         self.engine.counters.add("mpi.rma_puts")
 
     def get(self, local_addr: int, size: int, rank: int, offset: int = 0):
         """One-sided get from ``rank``'s window (generator)."""
         raddr, rkey = self._target(rank, offset, size)
-        yield from self.engine.rcache.acquire(local_addr, size)
+        mr = yield from self.engine.rcache.acquire(local_addr, size)
         wr = SendWR(opcode=Opcode.RDMA_READ, local_addr=local_addr,
                     length=size, remote_addr=raddr, rkey=rkey)
-        yield from self._post(rank, wr)
+        yield from self._post(rank, wr, mr)
         self.engine.counters.add("mpi.rma_gets")
 
     def fetch_add(self, local_addr: int, rank: int, offset: int,
                   operand: int):
         """Remote atomic fetch-and-add on an 8-byte word (generator)."""
         raddr, rkey = self._target(rank, offset, 8)
-        yield from self.engine.rcache.acquire(local_addr, 8)
+        mr = yield from self.engine.rcache.acquire(local_addr, 8)
         wr = SendWR(opcode=Opcode.ATOMIC_FETCH_ADD, local_addr=local_addr,
                     remote_addr=raddr, rkey=rkey, compare_add=operand)
-        yield from self._post(rank, wr)
+        yield from self._post(rank, wr, mr)
         self.engine.counters.add("mpi.rma_atomics")
 
 

@@ -37,6 +37,8 @@ class MPIConfig:
     #: registration cache for rendezvous buffers
     rcache_enabled: bool = True
     rcache_capacity: int = 128
+    #: pinned-bytes ceiling for the rendezvous rcache (0 = unlimited)
+    rcache_max_pinned_bytes: int = 0
     #: per-call software-stack overhead (ns): request allocation, protocol
     #: selection, matching-engine bookkeeping.  Charged at isend/irecv
     #: entry and per inbound protocol message.  Production MPI libraries

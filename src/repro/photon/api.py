@@ -68,26 +68,30 @@ class Photon(PwcMixin, RdmaMixin, MessagingMixin, CollectivesMixin,
         """
         addr = self.memory.alloc(size, align)
         mr = self.context.reg_mr_sync(self.pd, addr, size, Access.ALL)
-        if self.rcache.enabled:
-            self.rcache._entries[(addr, size)] = mr
+        # pinned=True: bootstrap buffers (ledgers, user windows) must never
+        # be evicted out from under remote rkeys that were exchanged OOB
+        self.rcache.insert(mr, pinned=True)
         return PhotonBuffer(addr=addr, size=size, rkey=mr.rkey)
 
     def register_buffer(self, addr: int, size: int):
         """Register an existing range, charging pin cost (generator).
 
-        Goes through the registration cache; returns a PhotonBuffer.
+        Goes through the registration cache and holds one reference until
+        :meth:`unregister_buffer`; returns a PhotonBuffer.
         """
         mr = yield from self.rcache.acquire(addr, size)
         return PhotonBuffer(addr=addr, size=size, rkey=mr.rkey)
 
     def unregister_buffer(self, buf: PhotonBuffer):
-        """Release a cached registration (generator; frees immediately only
-        when the registration cache is disabled)."""
-        for key, mr in list(self.rcache._entries.items()):
-            if mr.rkey == buf.rkey:
-                yield from self.rcache.release(mr)
-                return
-        return
+        """Drop the reference taken by :meth:`register_buffer` /
+        :meth:`buffer` (generator).
+
+        With the cache enabled the registration stays cached for reuse and
+        is only deregistered by LRU eviction (deferred if other operations
+        still hold references).  With the cache disabled the memory region
+        is deregistered immediately.
+        """
+        yield from self.rcache.unregister(buf.rkey)
 
 
 def photon_init(cluster: Cluster,

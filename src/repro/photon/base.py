@@ -90,6 +90,8 @@ class ReliableOp:
     local_cid: Optional[int] = None
     #: fired once when the op completes successfully (get-notify spawn etc.)
     on_done: Optional[Callable[[], None]] = None
+    #: rcache registrations pinned for this op; released when it settles
+    mrs: List = field(default_factory=list)
     #: posts so far (1 = first attempt)
     attempts: int = 0
     #: acks still outstanding for the *current* attempt
@@ -143,7 +145,9 @@ class PhotonBase:
             capacity=max(4096, cluster.n * config.imm_prepost * 2))
         self.rcache = RegistrationCache(
             self.context, self.pd, capacity=config.rcache_capacity,
-            enabled=config.rcache_enabled)
+            enabled=config.rcache_enabled,
+            max_pinned_bytes=config.rcache_max_pinned_bytes,
+            merge=config.rcache_merge)
         self.requests = RequestTable(self.rank)
         self.peers: Dict[int, PeerState] = {}
         # engine queues
@@ -418,11 +422,18 @@ class PhotonBase:
         op.deadline = self.env.now + self.config.op_timeout_ns
         yield from op.replay(op)
 
+    def _release_op_mrs(self, op: ReliableOp) -> None:
+        """Unpin the op's rcache registrations (called once, at settle)."""
+        for mr in op.mrs:
+            self.rcache.release_async(mr)
+        op.mrs.clear()
+
     def _op_done(self, op: ReliableOp) -> None:
         if op.state in ("done", "failed"):
             return
         op.state = "done"
         self._reliable.pop(op.key, None)
+        self._release_op_mrs(op)
         self._op_results[op.key] = WCStatus.SUCCESS
         if op.local_cid is not None:
             self.local_cids.append((op.local_cid, WCStatus.SUCCESS))
@@ -437,6 +448,7 @@ class PhotonBase:
         if op.attempts > self.config.max_op_retries:
             op.state = "failed"
             self._reliable.pop(op.key, None)
+            self._release_op_mrs(op)
             self._op_results[op.key] = WCStatus.RETRY_EXC_ERR
             self.counters.add("photon.op_failures")
             if op.local_cid is not None:
@@ -618,8 +630,15 @@ class PhotonBase:
                 "hits": self.rcache.hits,
                 "misses": self.rcache.misses,
                 "evictions": self.rcache.evictions,
+                "deferred_evictions": self.rcache.deferred_evictions,
+                "invalid_prunes": self.rcache.invalid_prunes,
+                "merges": self.rcache.merges,
                 "hit_rate": self.rcache.hit_rate,
                 "size": self.rcache.size,
+                "pending_evictions": self.rcache.pending_evictions,
+                "held_refs": self.rcache.held_refs,
+                "pinned_bytes": self.rcache.pinned_bytes,
+                "pinned_bytes_peak": self.rcache.pinned_bytes_peak,
             },
             "ledger_credits": {
                 (peer.rank, name): ring.available()

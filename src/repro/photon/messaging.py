@@ -78,6 +78,9 @@ class MessagingMixin:
         peer = self._peer(dst)
         mr = yield from self.rcache.acquire(local_addr, size)
         rid = req.rid
+        # the source stays pinned until the receiver has fetched + FINed
+        # (or the request failed/was abandoned)
+        req.on_settle = lambda: self.rcache.release_async(mr)
 
         def on_error():
             # the advertisement never reached the peer: no receiver will

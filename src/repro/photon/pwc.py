@@ -54,13 +54,18 @@ class PwcMixin:
                                       local_cid, remote_cid)
             return None
         peer = self._peer(dst)
+        mr = None
         if size > 0:
-            yield from self.rcache.acquire(local_addr, size)
+            mr = yield from self.rcache.acquire(local_addr, size)
         use_imm = self.config.use_imm and remote_cid is not None
         if use_imm and not 0 <= remote_cid < _U32:
+            if mr is not None:
+                yield from self.rcache.release(mr)
             raise SimulationError(
                 f"immediate-mode remote cid {remote_cid} must fit 32 bits")
         op = self._new_reliable_op(peer, "put", local_cid)
+        if mr is not None:
+            op.mrs.append(mr)
 
         def replay(op):
             on_ack, on_error = self._op_cbs(op, op.attempts)
@@ -115,8 +120,9 @@ class PwcMixin:
                                       local_cid, remote_cid)
             return None
         peer = self._peer(dst)
-        yield from self.rcache.acquire(local_addr, size)
+        mr = yield from self.rcache.acquire(local_addr, size)
         op = self._new_reliable_op(peer, "get", local_cid)
+        op.mrs.append(mr)
         if remote_cid is not None:
             notify = remote_cid
             op.on_done = lambda: self.env.process(

@@ -32,14 +32,19 @@ class RdmaMixin:
             self.requests.complete(req.rid, self.env.now)
             return req.rid
         peer = self._peer(dst)
+        mr = None
         if size > 0:
-            yield from self.rcache.acquire(local_addr, size)
+            mr = yield from self.rcache.acquire(local_addr, size)
         rid = req.rid
 
         def on_ack():
+            if mr is not None:
+                self.rcache.release_async(mr)
             self.requests.complete(rid, self.env.now)
 
         def on_error():
+            if mr is not None:
+                self.rcache.release_async(mr)
             self.counters.add("photon.request_failures")
             self.requests.fail(rid, self.env.now)
 
@@ -63,13 +68,15 @@ class RdmaMixin:
             self.requests.complete(req.rid, self.env.now)
             return req.rid
         peer = self._peer(dst)
-        yield from self.rcache.acquire(local_addr, size)
+        mr = yield from self.rcache.acquire(local_addr, size)
         rid = req.rid
 
         def on_ack():
+            self.rcache.release_async(mr)
             self.requests.complete(rid, self.env.now)
 
         def on_error():
+            self.rcache.release_async(mr)
             self.counters.add("photon.request_failures")
             self.requests.fail(rid, self.env.now)
 

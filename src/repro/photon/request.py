@@ -35,7 +35,7 @@ class PhotonRequest:
     """One in-flight operation."""
 
     __slots__ = ("rid", "kind", "peer", "size", "tag", "state", "t_posted",
-                 "t_completed")
+                 "t_completed", "on_settle")
 
     def __init__(self, rid: int, kind: RequestKind, peer: int, size: int,
                  tag: int, t_posted: int):
@@ -47,6 +47,9 @@ class PhotonRequest:
         self.state = RequestState.PENDING
         self.t_posted = t_posted
         self.t_completed = -1
+        #: fired exactly once when the request turns terminal (completed
+        #: or failed) — resource cleanup hook (rcache release)
+        self.on_settle = None
 
     @property
     def completed(self) -> bool:
@@ -90,6 +93,12 @@ class RequestTable:
                 f"rank {self.rank}: unknown or freed request id {rid}")
         return req
 
+    @staticmethod
+    def _settle(req: PhotonRequest) -> None:
+        hook, req.on_settle = req.on_settle, None
+        if hook is not None:
+            hook()
+
     def complete(self, rid: int, now: int) -> PhotonRequest:
         req = self.get(rid)
         if req.state is RequestState.FAILED:
@@ -98,6 +107,7 @@ class RequestTable:
             raise SimulationError(f"request {rid} completed twice")
         req.state = RequestState.COMPLETED
         req.t_completed = now
+        self._settle(req)
         return req
 
     def fail(self, rid: int, now: int) -> PhotonRequest:
@@ -109,6 +119,7 @@ class RequestTable:
         if req.state is RequestState.PENDING:
             req.state = RequestState.FAILED
             req.t_completed = now
+            self._settle(req)
         return req
 
     def free(self, rid: int) -> None:
@@ -117,6 +128,9 @@ class RequestTable:
             raise SimulationError(
                 f"rank {self.rank}: freeing unknown request {rid}")
         req.state = RequestState.FREED
+        # freeing an unsettled request abandons it: run the cleanup hook
+        # so pinned registrations aren't leaked
+        self._settle(req)
 
     @property
     def pending(self) -> int:

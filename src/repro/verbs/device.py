@@ -98,7 +98,6 @@ class Context:
         """Register a region, charging the pin cost (generator: yield from)."""
         cost = self.memory.pin_cost_ns(addr, length)
         yield self.env.timeout(cost)
-        self.counters.add("verbs.reg_mr")
         self.counters.add("verbs.reg_ns", cost)
         return self._make_mr(pd, addr, length, access)
 
@@ -114,19 +113,36 @@ class Context:
         # bounds check against the rank's memory
         self.memory._check(addr, length)
         key = next(self._key_seq)
-        mr = MemoryRegion(self, addr, length, access, lkey=key, rkey=key)
+        mr = MemoryRegion(self, addr, length, access, lkey=key, rkey=key,
+                          pd=pd)
         pd.mrs.append(mr)
         self._mrs_by_rkey[mr.rkey] = mr
         self.memory.pin(addr, length)
+        # every registration counts, sync or timed, so that
+        # reg_mr - dereg_mr == live MRs is an exact balance invariant
+        self.counters.add("verbs.reg_mr")
         return mr
 
     def dereg_mr(self, mr: MemoryRegion):
         """Deregister (generator: charges the unpin cost)."""
+        if not mr.valid:
+            raise VerbsError(
+                f"rank {self.rank}: double deregistration of rkey {mr.rkey}")
         yield self.env.timeout(self.memory.host.dereg_ns)
         mr.invalidate()
         self._mrs_by_rkey.pop(mr.rkey, None)
+        if mr.pd is not None:
+            try:
+                mr.pd.mrs.remove(mr)
+            except ValueError:  # pragma: no cover - defensive
+                pass
         self.memory.unpin(mr.addr, mr.length)
         self.counters.add("verbs.dereg_mr")
+
+    @property
+    def live_mrs(self) -> int:
+        """Registrations not yet deregistered (balance telemetry)."""
+        return len(self._mrs_by_rkey)
 
     def check_remote(self, rkey: int, addr: int, length: int,
                      need: Access) -> MemoryRegion:

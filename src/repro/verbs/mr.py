@@ -19,16 +19,17 @@ class MemoryRegion:
     """One registered region (created via ``Context.reg_mr``)."""
 
     __slots__ = ("context", "addr", "length", "access", "lkey", "rkey",
-                 "_valid")
+                 "pd", "_valid")
 
     def __init__(self, context, addr: int, length: int, access: Access,
-                 lkey: int, rkey: int):
+                 lkey: int, rkey: int, pd=None):
         self.context = context
         self.addr = addr
         self.length = length
         self.access = access
         self.lkey = lkey
         self.rkey = rkey
+        self.pd = pd
         self._valid = True
 
     @property

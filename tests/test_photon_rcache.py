@@ -3,16 +3,30 @@
 import pytest
 
 from repro.cluster import build_cluster
-from repro.photon.rcache import RegistrationCache
+from repro.photon.api import photon_init
+from repro.photon.config import PhotonConfig
+from repro.photon.rcache import RegistrationCache, assert_reg_balance
+from repro.verbs.enums import Access
 
 
-def setup(capacity=4, enabled=True):
+def setup(capacity=4, enabled=True, max_pinned_bytes=0, merge=True):
     cl = build_cluster(2)
     node = cl[0]
     pd = node.context.alloc_pd()
     cache = RegistrationCache(node.context, pd, capacity=capacity,
-                              enabled=enabled)
+                              enabled=enabled,
+                              max_pinned_bytes=max_pinned_bytes, merge=merge)
     return cl, node, cache
+
+
+def alloc_gapped(node, n, size=4096):
+    """``n`` page allocations separated by pad bytes so adjacent ranges
+    never touch (keeps merge-on-miss out of LRU/eviction tests)."""
+    addrs = []
+    for _ in range(n):
+        addrs.append(node.memory.alloc(size, align=4096))
+        node.memory.alloc(64)  # spacer: next aligned alloc is non-adjacent
+    return addrs
 
 
 def run(cl, gen):
@@ -56,11 +70,12 @@ def test_subrange_hits_covering_registration():
 
 def test_lru_eviction_deregisters():
     cl, node, cache = setup(capacity=2)
-    addrs = [node.memory.alloc(4096, align=4096) for _ in range(3)]
+    addrs = alloc_gapped(node, 3)
 
     def prog(env):
         for a in addrs:
-            yield from cache.acquire(a, 4096)
+            mr = yield from cache.acquire(a, 4096)
+            yield from cache.release(mr)
 
     run(cl, prog(cl.env))
     assert cache.size == 2
@@ -70,22 +85,103 @@ def test_lru_eviction_deregisters():
 
 def test_lru_order_respects_recency():
     cl, node, cache = setup(capacity=2)
-    a = node.memory.alloc(4096, align=4096)
-    b = node.memory.alloc(4096, align=4096)
-    c = node.memory.alloc(4096, align=4096)
+    a, b, c = alloc_gapped(node, 3)
 
     def prog(env):
-        yield from cache.acquire(a, 4096)
-        yield from cache.acquire(b, 4096)
-        yield from cache.acquire(a, 4096)  # refresh a
-        yield from cache.acquire(c, 4096)  # evicts b, not a
-        mr = yield from cache.acquire(a, 4096)
-        return mr
+        for addr in (a, b, a, c, a):  # refresh a before c evicts b
+            mr = yield from cache.acquire(addr, 4096)
+            yield from cache.release(mr)
 
     run(cl, prog(cl.env))
     # a stayed cached: 2 hits (refresh + final); b/c one miss each
     assert cache.hits == 2
     assert cache.misses == 3
+
+
+def test_merge_adjacent_registrations():
+    """Adjacent registrations coalesce into one covering entry, so the
+    union range becomes a cache hit without a third registration."""
+    cl, node, cache = setup(capacity=8)
+    a = node.memory.alloc(4096, align=4096)
+    b = node.memory.alloc(4096, align=4096)  # directly adjacent
+    assert b == a + 4096
+
+    def prog(env):
+        mr1 = yield from cache.acquire(a, 4096)
+        yield from cache.release(mr1)
+        mr2 = yield from cache.acquire(b, 4096)
+        yield from cache.release(mr2)
+        mr3 = yield from cache.acquire(a, 8192)  # whole span: must hit
+        yield from cache.release(mr3)
+        return mr2, mr3
+
+    mr2, mr3 = run(cl, prog(cl.env))
+    assert cache.size == 1
+    assert cache.merges == 1
+    assert mr2 is mr3 and mr2.covers(a, 8192)
+    assert cache.hits == 1 and cache.misses == 2
+
+
+def test_merge_disabled_keeps_entries_separate():
+    cl, node, cache = setup(capacity=8, merge=False)
+    a = node.memory.alloc(4096, align=4096)
+    node.memory.alloc(4096, align=4096)
+
+    def prog(env):
+        for addr in (a, a + 4096):
+            mr = yield from cache.acquire(addr, 4096)
+            yield from cache.release(mr)
+        mr = yield from cache.acquire(a + 1024, 512)  # inside first entry
+        yield from cache.release(mr)
+        return mr
+
+    mr = run(cl, prog(cl.env))
+    assert cache.size == 2
+    assert cache.merges == 0
+    assert cache.hits == 1
+
+
+def test_eviction_defers_while_referenced():
+    """Regression: eviction must never deregister an MR that an in-flight
+    operation still holds — it parks on the pending-evict list instead."""
+    cl, node, cache = setup(capacity=1)
+    a, b = alloc_gapped(node, 2)
+
+    def prog(env):
+        mr_a = yield from cache.acquire(a, 4096)  # held: no release yet
+        yield from cache.acquire(b, 4096)         # evicts a -> deferred
+        assert mr_a.valid, "evicted a referenced MR"
+        assert cache.pending_evictions == 1
+        assert cache.deferred_evictions == 1
+        assert cl.counters.get("verbs.dereg_mr") == 0
+        yield from cache.release(mr_a)            # last ref: dereg now
+        return mr_a
+
+    mr_a = run(cl, prog(cl.env))
+    assert not mr_a.valid
+    assert cache.pending_evictions == 0
+    assert cl.counters.get("verbs.dereg_mr") == 1
+
+
+def test_prune_invalid_entries():
+    """Entries whose MR was invalidated behind the cache's back (QP
+    flush/reset) are pruned on lookup instead of eating capacity."""
+    cl, node, cache = setup(capacity=4)
+    addr = node.memory.alloc(4096)
+
+    def prog(env):
+        mr = yield from cache.acquire(addr, 4096)
+        yield from cache.release(mr)
+        mr.invalidate()
+        mr2 = yield from cache.acquire(addr, 4096)  # miss: stale pruned
+        yield from cache.release(mr2)
+        return mr2
+
+    mr2 = run(cl, prog(cl.env))
+    assert mr2.valid
+    assert cache.invalid_prunes == 1
+    assert cache.hits == 0 and cache.misses == 2
+    assert cache.size == 1
 
 
 def test_disabled_cache_registers_every_time():
@@ -123,16 +219,98 @@ def test_release_with_cache_enabled_keeps_registration():
 
 def test_flush_deregisters_all():
     cl, node, cache = setup(capacity=8)
-    addrs = [node.memory.alloc(4096, align=4096) for _ in range(3)]
+    addrs = alloc_gapped(node, 3)
 
     def prog(env):
         for a in addrs:
-            yield from cache.acquire(a, 4096)
+            mr = yield from cache.acquire(a, 4096)
+            yield from cache.release(mr)
         yield from cache.flush()
 
     run(cl, prog(cl.env))
     assert cache.size == 0
     assert cl.counters.get("verbs.dereg_mr") == 3
+
+
+def test_insert_enforces_caps():
+    """Seeding via insert() obeys the entry cap; pinned entries survive."""
+    cl, node, cache = setup(capacity=2)
+    addrs = alloc_gapped(node, 3)
+    mrs = [node.context.reg_mr_sync(cache.pd, a, 4096, Access.ALL)
+           for a in addrs]
+    cache.insert(mrs[0], pinned=True)
+    cache.insert(mrs[1])
+    cache.insert(mrs[2])
+    assert cache.size == 2
+    assert cache.evictions == 1
+    assert mrs[0].valid, "pinned entry must never be evicted"
+    # the spawned dereg for the victim needs the clock to run
+    cl.env.run(until=10_000_000)
+    assert not mrs[1].valid
+    assert_reg_balance(cl.counters, [cl[i].context for i in range(cl.n)])
+
+
+def test_max_pinned_bytes_cap():
+    cl, node, cache = setup(capacity=16, max_pinned_bytes=8192)
+    addrs = alloc_gapped(node, 3)
+
+    def prog(env):
+        for a in addrs:
+            mr = yield from cache.acquire(a, 4096)
+            yield from cache.release(mr)
+
+    run(cl, prog(cl.env))
+    assert cache.pinned_bytes <= 8192
+    assert cache.size == 2
+    assert cache.evictions == 1
+    assert cache.pinned_bytes_peak >= 8192
+
+
+def test_acquire_release_balance_property():
+    """At shutdown, every registration was deregistered or is still live
+    in the cache: reg_mr == dereg_mr + live (both cache modes)."""
+    for enabled in (True, False):
+        cl, node, cache = setup(capacity=2, enabled=enabled)
+        addrs = alloc_gapped(node, 5)
+
+        def prog(env):
+            held = []
+            for i, a in enumerate(addrs):
+                mr = yield from cache.acquire(a, 4096)
+                if i % 2 == 0:
+                    held.append(mr)  # settle later, as an op would
+                else:
+                    yield from cache.release(mr)
+            for mr in held:
+                cache.release_async(mr)
+            yield env.timeout(1_000_000)  # drain spawned deregs
+            yield from cache.flush()
+
+        run(cl, prog(cl.env))
+        reg = cl.counters.get("verbs.reg_mr")
+        dereg = cl.counters.get("verbs.dereg_mr")
+        assert reg > 0
+        assert reg - cache.live_regs == dereg, f"enabled={enabled}"
+        assert_reg_balance(cl.counters, [cl[i].context for i in range(cl.n)])
+
+
+def test_unregister_buffer_both_modes():
+    """unregister_buffer actually retires the registration: cached entry
+    evicted+deregistered when enabled, immediate dereg when disabled."""
+    for enabled in (True, False):
+        cl = build_cluster(2)
+        cfg = PhotonConfig(rcache_enabled=enabled)
+        ph = photon_init(cl, cfg)
+        before = cl.counters.get("verbs.dereg_mr")
+        buf = ph[0].buffer(4096)
+
+        def prog(env):
+            yield from ph[0].unregister_buffer(buf)
+
+        run(cl, prog(cl.env))
+        assert cl.counters.get("verbs.dereg_mr") == before + 1, \
+            f"enabled={enabled}"
+        assert buf.rkey not in ph[0].context._mrs_by_rkey
 
 
 def test_hit_rate_property():

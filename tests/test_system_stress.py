@@ -11,6 +11,7 @@ import pytest
 
 from repro.cluster import build_cluster
 from repro.photon import photon_init
+from repro.photon.rcache import assert_reg_balance
 from repro.sim import SimulationError
 
 TIMEOUT = 10 ** 12
@@ -18,18 +19,40 @@ N = 4
 ROUNDS = 6
 
 
-def build(drop=0.0, seed=0):
+def build(drop=0.0, seed=0, rcache=True):
+    from repro.photon import PhotonConfig
     kw = {}
     if drop:
         kw = {"link__drop_rate": drop}
     cl = build_cluster(N, params="ib-fdr", seed=seed, **kw)
-    ph = photon_init(cl)
+    ph = photon_init(cl, PhotonConfig(rcache_enabled=rcache))
     return cl, ph
 
 
-@pytest.mark.parametrize("drop", [0.0, 0.03])
-def test_everything_everywhere_all_at_once(drop):
-    cl, ph = build(drop=drop)
+def assert_no_pin_leaks(cl, ph):
+    """End-of-test pin-leak guard: every acquire was released and every
+    registration was deregistered or is still owned somewhere."""
+
+    def drain(env):
+        # let straggling retries/acks settle and spawned deregs finish
+        yield env.timeout(10 ** 10)
+        for ep in ph:
+            yield from ep.rcache.flush()
+
+    p = cl.env.process(drain(cl.env))
+    cl.env.run(until=p)
+    for ep in ph:
+        assert ep.rcache.held_refs == 0, \
+            f"rank {ep.rank}: leaked acquire references"
+        assert ep.rcache.pending_evictions == 0
+    assert_reg_balance(cl.counters,
+                       [cl.ranks[r].context for r in range(len(cl.ranks))])
+
+
+@pytest.mark.parametrize("drop,rcache", [(0.0, True), (0.03, True),
+                                         (0.0, False)])
+def test_everything_everywhere_all_at_once(drop, rcache):
+    cl, ph = build(drop=drop, rcache=rcache)
     # disjoint regions per rank: rendezvous source, put-landing, landing
     rdv_src = [ep.buffer(1 << 16) for ep in ph]
     put_src = [ep.buffer(4096) for ep in ph]
@@ -100,6 +123,7 @@ def test_everything_everywhere_all_at_once(drop):
     assert cl.ranks[0].memory.read_u64(counter.addr) == N * ROUNDS
     # no RNR events: photon never posts an unready receive path
     assert cl.counters.get("verbs.rnr_stalls") == 0
+    assert_no_pin_leaks(cl, ph)
 
 
 def test_outstanding_cap_enforced_under_flood():
@@ -129,6 +153,7 @@ def test_outstanding_cap_enforced_under_flood():
     cl.env.run(until=p)
     assert max(peak) <= cfg.max_outstanding
     assert ph[0].peers[1].outstanding == 0
+    assert_no_pin_leaks(cl, ph)
 
 
 def test_bidirectional_flood_no_deadlock():
@@ -160,6 +185,7 @@ def test_bidirectional_flood_no_deadlock():
     p1 = cl.env.process(side(1))
     cl.env.run(until=cl.env.all_of([p0, p1]))
     assert p0.value == n_msgs and p1.value == n_msgs
+    assert_no_pin_leaks(cl, ph)
 
 
 def test_torus_all_pairs_traffic():
@@ -193,3 +219,4 @@ def test_torus_all_pairs_traffic():
                 continue
             assert cl.ranks[dst].memory.read(
                 bufs[dst].addr + 16 * src, 16) == bytes([src]) * 16
+    assert_no_pin_leaks(cl, ph)
