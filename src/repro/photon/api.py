@@ -84,12 +84,13 @@ class Photon(PwcMixin, RdmaMixin, MessagingMixin, CollectivesMixin,
 
     def unregister_buffer(self, buf: PhotonBuffer):
         """Drop the reference taken by :meth:`register_buffer` /
-        :meth:`buffer` (generator).
+        :meth:`buffer` and retire the registration (generator).
 
-        With the cache enabled the registration stays cached for reuse and
-        is only deregistered by LRU eviction (deferred if other operations
-        still hold references).  With the cache disabled the memory region
-        is deregistered immediately.
+        The entry is evicted from the cache and deregistered immediately
+        once no operation holds a reference to it; if in-flight operations
+        still do, deregistration is deferred until their last release.
+        Either way the buffer's rkey becomes invalid for peers — this is
+        teardown, not an unpin-but-keep-warm operation.
         """
         yield from self.rcache.unregister(buf.rkey)
 

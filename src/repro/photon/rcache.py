@@ -19,16 +19,20 @@ Lifecycle contract (see docs/API.md):
   deregisters — the uncached baseline, now leak-free because releases are
   threaded through every call site.
 
-Lookup is O(log n): live entries are kept non-overlapping (adjacent or
-overlapping registrations are merged into one covering registration when
-``merge`` is on, the default) and indexed by a sorted interval list, so a
-covering lookup is one bisect plus a single candidate probe.  With merge
-off, overlaps may exist and the bisect is followed by a short bounded
-leftward scan.
+Lookup is O(log n): entries are indexed by a sorted interval list, so a
+covering lookup is one bisect plus a short leftward scan bounded by the
+largest live entry length.  With ``merge`` on (the default) adjacent or
+overlapping *unpinned* registrations are coalesced into one covering
+registration on a miss, keeping the scan near one probe in steady state.
+Pinned entries are never absorbed by a merge — their rkeys were exchanged
+with peers and must stay valid — and :meth:`insert` does not merge, so
+overlapping entries are legal and the lookup tolerates them.
 
 Capacity is bounded two ways: an entry-count cap (``capacity``) and an
 optional pinned-bytes cap (``max_pinned_bytes``; 0 = unlimited).  Both are
-enforced on every miss/insert, with LRU victim selection.
+enforced on every miss/insert, with LRU victim selection.  Pending-evict
+entries still hold real pinned memory, so they keep counting toward
+``pinned_bytes`` until their deferred deregistration actually runs.
 """
 
 from __future__ import annotations
@@ -120,6 +124,27 @@ class RegistrationCache:
                     self.pinned_bytes_peak
 
     # ------------------------------------------------------------------ index
+    def _defer(self, entry: CacheEntry) -> None:
+        """Park an evicted-but-referenced entry on the pending list.
+
+        The MR stays registered until the last release, so its bytes go
+        back into ``pinned_bytes`` (undoing :meth:`_drop_entry`'s
+        subtraction) until :meth:`_pending_pop` hands it to dereg.
+        """
+        self._pending[entry.mr.rkey] = entry
+        self._by_rkey[entry.mr.rkey] = entry
+        self._note_pinned(entry.mr.length)
+        self.deferred_evictions += 1
+        self._count("deferred_evictions")
+
+    def _pending_pop(self, rkey: int) -> Optional[CacheEntry]:
+        """Remove a pending-evict entry; its MR is now due for dereg."""
+        entry = self._pending.pop(rkey, None)
+        if entry is not None:
+            self._by_rkey.pop(rkey, None)
+            self._note_pinned(-entry.mr.length)
+        return entry
+
     def _index_add(self, entry: CacheEntry) -> None:
         key = entry.key
         old = self._entries.get(key)
@@ -130,10 +155,7 @@ class RegistrationCache:
             self._drop_entry(old, prune=not old.mr.valid)
             if old.mr.valid:
                 if old.refcount > 0:
-                    self._pending[old.mr.rkey] = old
-                    self._by_rkey[old.mr.rkey] = old
-                    self.deferred_evictions += 1
-                    self._count("deferred_evictions")
+                    self._defer(old)
                 else:
                     self.env.process(self._dereg_many([old.mr]),
                                      name="rcache:dereg")
@@ -162,25 +184,32 @@ class RegistrationCache:
         return True
 
     def _find_covering(self, addr: int, length: int) -> Optional[CacheEntry]:
-        """O(log n) covering lookup (bisect + bounded candidate probes)."""
+        """O(log n) covering lookup (bisect + bounded candidate probes).
+
+        Entries may overlap (pinned entries are never merged away and
+        :meth:`insert` does not merge), so after the bisect the scan
+        always continues leftward until an entry covers the range or no
+        entry further left can reach ``addr`` (bounded by the largest
+        live entry length).  Any valid covering entry is a correct hit.
+        """
         i = bisect_right(self._index, (addr, 1 << 62)) - 1
         probes = 0
         hit = None
         while i >= 0:
             key = self._index[i]
             probes += 1
-            entry = self._entries[key]
+            entry = self._entries.get(key)
+            if entry is None:  # pragma: no cover - index/LRU divergence
+                i -= 1
+                continue
             if not entry.mr.valid:
                 # pruned lazily: deregistered behind the cache's back
                 self._drop_entry(entry, prune=True)
-                self._pending.pop(entry.mr.rkey, None)
                 i -= 1
                 continue
             if entry.mr.covers(addr, length):
                 hit = entry
                 break
-            if self.merge:
-                break  # non-overlapping invariant: single candidate
             if key[0] + self._max_len <= addr:
                 break  # nothing further left can reach addr
             i -= 1
@@ -216,7 +245,7 @@ class RegistrationCache:
         if not self.enabled:
             self._loaned[mr.rkey] = mr
             return mr
-        entry = CacheEntry(mr, pinned=any(a.pinned for a in absorbed))
+        entry = CacheEntry(mr)  # absorbed entries are never pinned
         entry.refcount = 1
         for old in absorbed:
             self.merges += 1
@@ -228,7 +257,14 @@ class RegistrationCache:
 
     def _merge_span(self, addr: int, length: int):
         """Union span of [addr, addr+length) with overlapping/adjacent
-        live entries; returns (addr, length, absorbed_entries)."""
+        live *unpinned* entries; returns (addr, length, absorbed_entries).
+
+        Pinned entries are skipped — absorbing one would retire its MR
+        and invalidate an rkey already exchanged with peers — and they do
+        not extend the span, so a pinned region is never swallowed.  The
+        new registration may overlap a pinned entry; :meth:`_find_covering`
+        tolerates that overlap.
+        """
         lo, hi = addr, addr + length
         absorbed: List[CacheEntry] = []
         i = bisect_right(self._index, (lo, 1 << 62))
@@ -239,12 +275,12 @@ class RegistrationCache:
             if key[0] + key[1] < lo:
                 break
             entry = self._entries[key]
-            if entry.mr.valid:
+            if not entry.mr.valid:
+                self._drop_entry(entry, prune=True)
+            elif not entry.pinned:
                 absorbed.append(entry)
                 lo = min(lo, key[0])
                 hi = max(hi, key[0] + key[1])
-            else:
-                self._drop_entry(entry, prune=True)
             j -= 1
         # walk right while entries touch the span
         while i < len(self._index):
@@ -252,12 +288,13 @@ class RegistrationCache:
             if key[0] > hi:
                 break
             entry = self._entries[key]
-            if entry.mr.valid:
+            if not entry.mr.valid:
+                self._drop_entry(entry, prune=True)
+                continue
+            if not entry.pinned:
                 absorbed.append(entry)
                 hi = max(hi, key[0] + key[1])
-                i += 1
-            else:
-                self._drop_entry(entry, prune=True)
+            i += 1
         return lo, hi - lo, absorbed
 
     def _retire(self, entry: CacheEntry):
@@ -266,10 +303,7 @@ class RegistrationCache:
         if not self._drop_entry(entry):
             return
         if entry.refcount > 0:
-            self._pending[entry.mr.rkey] = entry
-            self._by_rkey[entry.mr.rkey] = entry
-            self.deferred_evictions += 1
-            self._count("deferred_evictions")
+            self._defer(entry)
             return
         if entry.refcount < 0:  # pragma: no cover - defensive
             raise SimulationError("rcache entry refcount went negative")
@@ -326,10 +360,7 @@ class RegistrationCache:
             if not self._drop_entry(victim):
                 continue
             if victim.refcount > 0:
-                self._pending[victim.mr.rkey] = victim
-                self._by_rkey[victim.mr.rkey] = victim
-                self.deferred_evictions += 1
-                self._count("deferred_evictions")
+                self._defer(victim)
             elif victim.mr.valid:
                 # timed dereg as a spawned process keeps the reg/dereg
                 # counters balanced even on the bootstrap insert path
@@ -352,8 +383,7 @@ class RegistrationCache:
         if entry.refcount > 0:
             entry.refcount -= 1
         if entry.refcount == 0 and entry.mr.rkey in self._pending:
-            del self._pending[entry.mr.rkey]
-            self._by_rkey.pop(entry.mr.rkey, None)
+            self._pending_pop(entry.mr.rkey)
             return [entry.mr] if entry.mr.valid else []
         return []
 
@@ -401,8 +431,7 @@ class RegistrationCache:
                 entry.refcount -= 1
             if rkey in self._pending:
                 if entry.refcount == 0:
-                    del self._pending[rkey]
-                    self._by_rkey.pop(rkey, None)
+                    self._pending_pop(rkey)
                     if entry.mr.valid:
                         yield from self.context.dereg_mr(entry.mr)
                 return True
@@ -421,21 +450,26 @@ class RegistrationCache:
         """Deregister everything, including pending evictions (generator).
 
         Shutdown-time operation: outstanding references are forgotten.
+        All bookkeeping is cleared *before* the first dereg yield so a
+        concurrent lookup during the drain sees an empty, consistent
+        cache instead of an index pointing at retired entries.
         """
+        due: List[MemoryRegion] = []
         while self._entries:
             _, entry = self._entries.popitem(last=False)
             self._by_rkey.pop(entry.mr.rkey, None)
             self._note_pinned(-entry.mr.length)
-            if entry.mr.valid:
-                yield from self.context.dereg_mr(entry.mr)
+            due.append(entry.mr)
         self._index.clear()
         while self._pending:
             rkey, entry = self._pending.popitem()
             self._by_rkey.pop(rkey, None)
-            if entry.mr.valid:
-                yield from self.context.dereg_mr(entry.mr)
+            self._note_pinned(-entry.mr.length)
+            due.append(entry.mr)
         while self._loaned:
             _, mr = self._loaned.popitem()
+            due.append(mr)
+        for mr in due:
             if mr.valid:
                 yield from self.context.dereg_mr(mr)
 

@@ -313,6 +313,114 @@ def test_unregister_buffer_both_modes():
         assert buf.rkey not in ph[0].context._mrs_by_rkey
 
 
+def test_merge_never_absorbs_pinned_entry():
+    """Regression (review): a miss adjacent to a pinned bootstrap entry
+    must not merge the pinned registration away — its rkey was exchanged
+    with peers and has to stay valid."""
+    cl, node, cache = setup(capacity=8)
+    a = node.memory.alloc(4096, align=4096)
+    b = node.memory.alloc(4096, align=4096)
+    assert b == a + 4096
+    mr_pinned = node.context.reg_mr_sync(cache.pd, a, 4096, Access.ALL)
+    cache.insert(mr_pinned, pinned=True)
+
+    def prog(env):
+        mr = yield from cache.acquire(b, 4096)  # adjacent miss
+        yield from cache.release(mr)
+        return mr
+
+    mr = run(cl, prog(cl.env))
+    assert mr is not mr_pinned
+    assert mr_pinned.valid, "merge absorbed a pinned entry"
+    assert node.context._mrs_by_rkey.get(mr_pinned.rkey) is mr_pinned
+    assert cache.merges == 0
+    assert cache.size == 2
+
+    # the pinned range is still a hit after the adjacent registration
+    def prog2(env):
+        hit = yield from cache.acquire(a + 128, 256)
+        yield from cache.release(hit)
+        return hit
+
+    hit = run(cl, prog2(cl.env))
+    assert hit is mr_pinned
+
+
+def test_lookup_tolerates_overlapping_entries():
+    """Regression (review): insert() does not merge, so overlapping
+    entries can coexist; the lookup must keep scanning left past a
+    non-covering candidate instead of declaring a spurious miss."""
+    cl, node, cache = setup(capacity=8)
+    a = node.memory.alloc(16384, align=4096)
+    big = node.context.reg_mr_sync(cache.pd, a, 16384, Access.ALL)
+    small = node.context.reg_mr_sync(cache.pd, a + 4096, 1024, Access.ALL)
+    cache.insert(big, pinned=True)
+    cache.insert(small)
+
+    def prog(env):
+        mr = yield from cache.acquire(a + 4096, 4096)
+        yield from cache.release(mr)
+        return mr
+
+    mr = run(cl, prog(cl.env))
+    assert mr is big, "covering entry missed behind an overlapping one"
+    assert cache.hits == 1 and cache.misses == 0
+
+
+def test_pending_eviction_counts_pinned_bytes():
+    """Regression (review): a deferred-evict victim stays registered
+    until its last release, so its bytes must keep counting toward
+    pinned_bytes (and the byte cap) until the dereg actually runs."""
+    cl, node, cache = setup(capacity=1)
+    a, b = alloc_gapped(node, 2)
+
+    def prog(env):
+        mr_a = yield from cache.acquire(a, 4096)   # held: no release yet
+        mr_b = yield from cache.acquire(b, 4096)   # evicts a -> deferred
+        assert cache.pending_evictions == 1
+        assert cache.pinned_bytes == 8192, \
+            "pending-evict bytes dropped out of the pinned accounting"
+        yield from cache.release(mr_a)             # last ref: dereg now
+        assert cache.pinned_bytes == 4096
+        yield from cache.release(mr_b)
+
+    run(cl, prog(cl.env))
+    assert cache.pinned_bytes == 4096  # b still cached warm
+
+
+def test_pinned_buffer_rkey_survives_adjacent_registration():
+    """End-to-end regression (review): registering memory directly
+    adjacent to a buffer()-seeded (pinned) registration must not retire
+    the pinned MR — the rkey exchanged with peers has to keep working
+    for a subsequent remote put."""
+    timeout = 50_000_000
+    cl = build_cluster(2)
+    ph = photon_init(cl, PhotonConfig())
+    dst = ph[1].buffer(4096)
+    adj = cl[1].memory.alloc(4096, align=64)  # bump allocator: adjacent
+    src = ph[0].buffer(4096)
+    payload = b"rkey-must-survive" * 8
+    cl[0].memory.write(src.addr, payload)
+
+    def target(env):
+        # acquire miss on the range next to the pinned buffer: the old
+        # merge path absorbed and deregistered the pinned entry here
+        yield from ph[1].register_buffer(adj, 4096)
+        c = yield from ph[1].wait_completion("remote", timeout_ns=timeout)
+        return c
+
+    def sender(env):
+        yield env.timeout(2_000_000)  # after the adjacent registration
+        yield from ph[0].put_pwc(1, src.addr, len(payload), dst.addr,
+                                 dst.rkey, remote_cid=7)
+
+    p0 = cl.env.process(sender(cl.env))
+    p1 = cl.env.process(target(cl.env))
+    cl.env.run(until=cl.env.all_of([p0, p1]))
+    assert p1.value.cid == 7
+    assert cl[1].memory.read(dst.addr, len(payload)) == payload
+
+
 def test_hit_rate_property():
     cl, node, cache = setup()
     addr = node.memory.alloc(4096)
