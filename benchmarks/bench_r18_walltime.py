@@ -1,0 +1,19 @@
+"""Benchmark R18 — simulator wall-clock throughput (DESIGN.md §4).
+
+Unlike the R1–R17 benchmarks, the table here *is* a host wall-clock
+measurement (events/s of the bare kernel, MB/s through the zero-copy
+payload path) — explicitly not simulated time.  The shape checks are
+loose machine-independent floors; exact numbers land in
+BENCH_wallclock.json via ``python -m repro.bench --timing``.
+"""
+
+from repro.bench.experiments import r18_walltime
+
+
+def test_r18_walltime(benchmark):
+    result = benchmark.pedantic(r18_walltime.run, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.all_checks_pass, \
+        f"shape checks failed: {result.failed_checks()}"

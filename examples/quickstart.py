@@ -46,7 +46,7 @@ def main() -> None:
     def rank1(env):
         completion = yield from ph[1].wait_completion("remote")
         timeline["remote_done"] = env.now
-        data = cluster[1].memory.read(dst.addr, len(message))
+        data = cluster[1].memory.read_bytes(dst.addr, len(message))
         print(f"[rank 1] t={to_us(env.now):7.3f}us  remote completion "
               f"cid={completion.cid} from rank {completion.src}")
         print(f"[rank 1] payload: {data.decode()!r}")

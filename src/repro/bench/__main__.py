@@ -7,11 +7,16 @@ Usage::
     python -m repro.bench --smoke    # tiny CI subset, quick mode
     python -m repro.bench r1 r5      # selected experiments
     python -m repro.bench --markdown out.md   # write EXPERIMENTS-style md
+    python -m repro.bench --smoke --timing    # wall-clock medians ->
+                                              #   BENCH_wallclock.json
+    python -m repro.bench --smoke --profile   # cProfile, top-25 cumulative
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import statistics
 import sys
 import time
 
@@ -22,17 +27,57 @@ from .experiments import ALL
 #: validation, and the fault-domain sweep
 SMOKE = ["r1", "r6", "r14", "r17"]
 
+#: median host wall time of ``--smoke`` on the reference machine *before*
+#: the hot-path overhaul (zero-copy payloads, Timeout recycling, clean-
+#: fabric fast path).  Kept so BENCH_wallclock.json always reports the
+#: speedup against the same pre-optimisation anchor.
+PRE_OPT_SMOKE_BASELINE_S = 4.271
+
+
+def _run_timed(wanted, full: bool, repeats: int):
+    """Run each experiment ``repeats`` times; return (results, timings).
+
+    ``results`` holds the last run's ExperimentResult per experiment (all
+    repeats produce identical simulated output — the kernel is
+    deterministic); ``timings`` maps id -> {"runs": [...], "median_s": m}.
+    """
+    results = {}
+    timings = {}
+    for key in wanted:
+        module = ALL[key]
+        runs = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            results[key] = module.run(quick=not full)
+            runs.append(time.perf_counter() - t0)
+        timings[key] = {"runs": [round(r, 4) for r in runs],
+                        "median_s": round(statistics.median(runs), 4)}
+    return results, timings
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro.bench")
     parser.add_argument("experiments", nargs="*",
-                        help="experiment ids (r1..r17); default: all")
+                        help="experiment ids (r1..r18); default: all")
     parser.add_argument("--full", action="store_true",
                         help="full sweeps instead of quick mode")
     parser.add_argument("--smoke", action="store_true",
                         help=f"run only the CI smoke subset {SMOKE}")
     parser.add_argument("--markdown", metavar="PATH",
                         help="also write results as markdown")
+    parser.add_argument("--timing", action="store_true",
+                        help="repeat each experiment and record per-"
+                             "experiment wall-clock medians in "
+                             "BENCH_wallclock.json")
+    parser.add_argument("--timing-repeats", type=int, default=3,
+                        metavar="K", help="repeats per experiment for "
+                                          "--timing (default 3)")
+    parser.add_argument("--timing-out", default="BENCH_wallclock.json",
+                        metavar="PATH", help="where --timing writes its "
+                                             "report (default: repo root)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print the top 25 "
+                             "functions by cumulative time")
     args = parser.parse_args(argv)
 
     if args.smoke and args.full:
@@ -42,25 +87,60 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown experiments {unknown}; known: {sorted(ALL)}")
 
-    results = []
+    if args.profile:
+        import cProfile
+        import pstats
+        prof = cProfile.Profile()
+        prof.enable()
+        results = {k: ALL[k].run(quick=not args.full) for k in wanted}
+        prof.disable()
+        pstats.Stats(prof).sort_stats("cumulative").print_stats(25)
+        timings = None
+    elif args.timing:
+        results, timings = _run_timed(wanted, args.full, args.timing_repeats)
+    else:
+        results = {}
+        timings = None
+        for key in wanted:
+            t0 = time.time()
+            results[key] = ALL[key].run(quick=not args.full)
+            wall = time.time() - t0
+            print(results[key].render())
+            print(f"  (host wall time {wall:.1f}s)")
+            print()
+
     failed = []
     for key in wanted:
-        module = ALL[key]
-        t0 = time.time()
-        result = module.run(quick=not args.full)
-        wall = time.time() - t0
-        results.append(result)
-        print(result.render())
-        print(f"  (host wall time {wall:.1f}s)")
-        print()
-        if not result.all_checks_pass:
-            failed.append((key, result.failed_checks()))
+        if not results[key].all_checks_pass:
+            failed.append((key, results[key].failed_checks()))
+
+    if timings is not None:
+        total = round(sum(t["median_s"] for t in timings.values()), 4)
+        report = {
+            "mode": ("smoke" if args.smoke
+                     else "full" if args.full else "quick"),
+            "experiments": timings,
+            "total_median_s": total,
+            "repeats": args.timing_repeats,
+        }
+        if args.smoke:
+            report["pre_optimisation_smoke_baseline_s"] = \
+                PRE_OPT_SMOKE_BASELINE_S
+            report["speedup_vs_pre_optimisation"] = round(
+                PRE_OPT_SMOKE_BASELINE_S / total, 2) if total else None
+        with open(args.timing_out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        for key, t in timings.items():
+            print(f"  {key}: median {t['median_s']:.3f}s over "
+                  f"{len(t['runs'])} runs")
+        print(f"total (sum of medians): {total:.3f}s -> {args.timing_out}")
 
     if args.markdown:
         with open(args.markdown, "w") as fh:
             fh.write("# Experiment results\n\n")
-            for r in results:
-                fh.write(r.to_markdown())
+            for key in wanted:
+                fh.write(results[key].to_markdown())
                 fh.write("\n")
         print(f"wrote {args.markdown}")
 

@@ -23,6 +23,7 @@ from . import (
     r15_coalescing,
     r16_samplesort,
     r17_faults,
+    r18_walltime,
 )
 
 ALL = {
@@ -43,6 +44,7 @@ ALL = {
     "r15": r15_coalescing,
     "r16": r16_samplesort,
     "r17": r17_faults,
+    "r18": r18_walltime,
 }
 
 __all__ = ["ALL"] + [f"r{i}_{n}" for i, n in []]

@@ -78,11 +78,37 @@ class Link:
         return self._busy_ns
 
     def _server(self):
+        # ``rng`` is assigned once at construction (only when the link was
+        # built with a non-zero drop_rate), so the clean/faulty decision can
+        # be made once instead of per chunk.  ``drop_rate`` itself can be
+        # toggled mid-run by fault-injection harnesses, hence the faulty
+        # variant still re-checks it per chunk.
+        if self.rng is None:
+            yield from self._server_clean()
+        else:
+            yield from self._server_faulty()
+
+    def _server_clean(self):
+        env = self.env
+        inbox_get = self.inbox.get
+        counters = self.counters
+        bw = self.params.bandwidth_gbps
+        while True:
+            chunk: Chunk = yield inbox_get()
+            ser = serialization_ns(chunk.wire_bytes, bw)
+            self._busy_ns += ser
+            counters.add("link.chunks")
+            counters.add("link.bytes", chunk.wire_bytes)
+            yield env.timeout(ser)
+            # Propagation overlaps with serialising the next chunk.
+            env.process(self._propagate(chunk), name=f"prop:{self.name}")
+
+    def _server_faulty(self):
         env = self.env
         while True:
             chunk: Chunk = yield self.inbox.get()
             ser = serialization_ns(chunk.wire_bytes, self.params.bandwidth_gbps)
-            if (self.params.drop_rate > 0.0 and self.rng is not None):
+            if self.params.drop_rate > 0.0:
                 if self.params.loss_mode == "lossy":
                     # genuine loss: the chunk still occupies the wire for
                     # its serialisation time, then vanishes.  Recovery (if

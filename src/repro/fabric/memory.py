@@ -1,8 +1,16 @@
 """Per-rank host memory with a pinning (registration) cost model.
 
-Memory is a real ``bytearray``: every simulated RDMA operation moves real
-bytes, so tests can assert payload integrity end-to-end.  Addresses are
-byte offsets into the rank's flat space, handed out by a bump allocator.
+Memory is a real buffer: every simulated RDMA operation moves real bytes,
+so tests can assert payload integrity end-to-end.  Addresses are byte
+offsets into the rank's flat space, handed out by a bump allocator.
+
+The backing store is an anonymous ``mmap`` — the kernel hands out
+zero-filled pages lazily, so a 64 MiB rank costs microseconds to create
+instead of a 64 MiB memset, and untouched address space never becomes
+resident.  ``read`` returns a zero-copy :class:`memoryview` into that
+store; callers that retain a payload across simulated time (ring slots are
+recycled, scratch buffers are reused) take an owned snapshot with
+:meth:`read_bytes`.
 
 Registration ("pinning") mirrors the cost structure of ``ibv_reg_mr``: a
 fixed syscall cost plus a per-page cost.  The Memory object only *computes*
@@ -13,6 +21,8 @@ loop so the accounting lives where the time is spent.
 from __future__ import annotations
 
 import math
+import mmap
+import struct
 from collections import Counter
 from typing import Counter as CounterT
 
@@ -20,6 +30,8 @@ from ..sim.core import SimulationError
 from .params import HostParams
 
 __all__ = ["Memory", "MemoryError_", "OutOfMemory"]
+
+_U64 = struct.Struct("<Q")
 
 
 class MemoryError_(SimulationError):
@@ -39,7 +51,10 @@ class Memory:
         self.size = size
         self.host = host
         self.rank = rank
-        self.data = bytearray(size)
+        # anonymous mapping: zero-initialised like the old bytearray, but
+        # pages materialise on first touch instead of one up-front memset
+        self._mm = mmap.mmap(-1, size)
+        self.data = memoryview(self._mm)
         self._brk = 0
         #: page -> number of registrations pinning it.  Refcounted so
         #: overlapping MRs (the registration cache merges and splits
@@ -74,19 +89,43 @@ class Memory:
                 f"rank {self.rank}: access [{addr}, {addr + length}) outside "
                 f"[0, {self.size})")
 
-    def read(self, addr: int, length: int) -> bytes:
+    def read(self, addr: int, length: int) -> memoryview:
+        """Zero-copy view of [addr, addr+length).
+
+        The view aliases live memory: it reflects later writes to the same
+        range.  Callers that keep the payload across simulated time (or
+        across a buffer reuse) must snapshot with :meth:`read_bytes`.
+        """
+        self._check(addr, length)
+        return self.data[addr:addr + length]
+
+    def read_bytes(self, addr: int, length: int) -> bytes:
+        """Owned ``bytes`` copy of [addr, addr+length)."""
         self._check(addr, length)
         return bytes(self.data[addr:addr + length])
 
-    def write(self, addr: int, payload: bytes) -> None:
-        self._check(addr, len(payload))
-        self.data[addr:addr + len(payload)] = payload
+    def write(self, addr: int, payload) -> None:
+        """Copy ``payload`` (any buffer: bytes/bytearray/memoryview) into
+        memory at ``addr``.  The range is validated *before* any byte
+        lands, so a rejected write never mutates memory."""
+        if not isinstance(payload, (bytes, bytearray, memoryview)):
+            payload = memoryview(payload)
+        n = len(payload)
+        self._check(addr, n)
+        if isinstance(payload, memoryview) and payload.obj is self._mm:
+            # self-aliasing copy (e.g. loopback into an overlapping range):
+            # snapshot the source first — slice assignment between
+            # overlapping views of one mmap is not defined to memmove
+            payload = payload.tobytes()
+        self.data[addr:addr + n] = payload
 
     def read_u64(self, addr: int) -> int:
-        return int.from_bytes(self.read(addr, 8), "little")
+        self._check(addr, 8)
+        return _U64.unpack_from(self.data, addr)[0]
 
     def write_u64(self, addr: int, value: int) -> None:
-        self.write(addr, int(value & (2 ** 64 - 1)).to_bytes(8, "little"))
+        self._check(addr, 8)
+        _U64.pack_into(self.data, addr, value & 0xFFFFFFFFFFFFFFFF)
 
     # -- pinning cost model -----------------------------------------------------
     def _page_range(self, addr: int, length: int) -> range:

@@ -131,7 +131,8 @@ class Comm:
         """Blocking receive into scratch; returns the payload (generator)."""
         addr = self._scratch.take(max(max_bytes, 1))
         status = yield from self.recv(addr, max_bytes, src, tag)
-        return self.memory.read(addr, status.count)
+        # owned copy: the scratch ring wraps and reuses this region
+        return self.memory.read_bytes(addr, status.count)
 
     def _coll_tag(self, step: int) -> int:
         return _COLL_TAG_BASE + self._epoch * 4096 + step
@@ -283,7 +284,8 @@ class Comm:
                 addr = self._scratch.take(max(len(data), 1) + 8)
                 status = yield from self.recv(addr, max(len(data), 1),
                                               tag=tag)
-                out[status.source] = self.memory.read(addr, status.count)
+                out[status.source] = self.memory.read_bytes(addr,
+                                                            status.count)
             return out
         yield from self._send_bytes(root, data, tag)
         return None
@@ -306,7 +308,7 @@ class Comm:
             return bytes(blobs[root])
         addr = self._scratch.take(1 << 16)
         status = yield from self.recv(addr, 1 << 16, src=root, tag=tag)
-        return self.memory.read(addr, status.count)
+        return self.memory.read_bytes(addr, status.count)
 
     def alltoall(self, blobs: List[bytes]):
         """Pairwise-exchange alltoallv (generator → list by source rank).

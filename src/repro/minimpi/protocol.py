@@ -181,7 +181,9 @@ class Engine:
         self.counters.add("mpi.isends")
         yield self.env.timeout(self.config.sw_overhead_ns)
         if dst == self.rank:
-            payload = self.memory.read(addr, size)
+            # owned snapshot: a self-send may sit in the unexpected queue
+            # while the source buffer is reused
+            payload = self.memory.read_bytes(addr, size)
             yield self.env.timeout(self.memory.memcpy_cost_ns(size))
             yield from self._deliver_local(self.rank, tag, payload)
             req.complete(self.env.now)
@@ -248,7 +250,10 @@ class Engine:
         ch = self._peer(dst)
         slot = yield from self._acquire_slot(ch)
         payload = self.memory.read(addr, size) if size else b""
-        raw = HDR.pack(KIND_EAGER, tag, size, req.rid, 0, 0) + payload
+        # join (not +) accepts the zero-copy view and snapshots it exactly
+        # once, into the owned bytes the resend closures hold on to
+        raw = b"".join((HDR.pack(KIND_EAGER, tag, size, req.rid, 0, 0),
+                        payload))
         # eager completes locally once the bounce copy is on the wire
         rid = req.rid
 
@@ -436,7 +441,7 @@ class Engine:
         ch = self._peer(wc.src_rank)
         slot = ch.recv_slots.pop(wc.wr_id)
         raw = self.memory.read(slot, wc.byte_len)
-        kind, tag, size, sreq, raddr, rkey = HDR.unpack(raw[:HDR.size])
+        kind, tag, size, sreq, raddr, rkey = HDR.unpack_from(raw)
         if kind == KIND_EAGER:
             payload = raw[HDR.size:HDR.size + size]
             posted = self.matcher.match_arrival(wc.src_rank, tag)
@@ -444,7 +449,7 @@ class Engine:
                 # copy out of the bounce so it can be reposted
                 yield self.env.timeout(self.memory.memcpy_cost_ns(size))
                 self.matcher.add_unexpected(UnexpectedMsg(
-                    src=wc.src_rank, tag=tag, payload=payload))
+                    src=wc.src_rank, tag=tag, payload=bytes(payload)))
                 self.counters.add("mpi.unexpected")
             else:
                 if size > posted.length:

@@ -567,10 +567,11 @@ class PhotonBase:
         env = self.env
         nic = self.cluster.params.nic
         mem = self.memory
+        buf = mem.data
         # completion ring
         ring = peer.local["cmp"]
         while ring.ready():
-            entry = CompletionEntry.unpack(ring.read_head())
+            entry = CompletionEntry.unpack_from(buf, ring.head_addr())
             ring.advance()
             yield env.timeout(nic.cqe_poll_ns)
             if self._rx_dup(peer, entry.op):
@@ -581,11 +582,13 @@ class PhotonBase:
         ring = peer.local["eager"]
         while ring.ready():
             head = ring.head_addr()
-            header = EagerHeader.unpack(mem.read(head, EAGER_HEADER_SIZE))
+            header = EagerHeader.unpack_from(buf, head)
             trailer = mem.read_u64(head + EAGER_HEADER_SIZE + header.size)
             if trailer != header.seq:
                 break  # payload still landing
-            payload = mem.read(head + EAGER_HEADER_SIZE, header.size)
+            # owned copy: the slot is recycled once credit returns, but the
+            # message sits in self.messages until the app drains it
+            payload = mem.read_bytes(head + EAGER_HEADER_SIZE, header.size)
             ring.advance()
             yield env.timeout(mem.memcpy_cost_ns(header.size)
                               + nic.cqe_poll_ns)
@@ -596,7 +599,7 @@ class PhotonBase:
         # info ring
         ring = peer.local["info"]
         while ring.ready():
-            info = InfoEntry.unpack(ring.read_head())
+            info = InfoEntry.unpack_from(buf, ring.head_addr())
             ring.advance()
             yield env.timeout(nic.cqe_poll_ns)
             self.infos.append(info)
@@ -604,7 +607,7 @@ class PhotonBase:
         # fin ring
         ring = peer.local["fin"]
         while ring.ready():
-            fin = FinEntry.unpack(ring.read_head())
+            fin = FinEntry.unpack_from(buf, ring.head_addr())
             ring.advance()
             yield env.timeout(nic.cqe_poll_ns)
             self.requests.complete(fin.req, env.now)

@@ -70,7 +70,7 @@ class MessagingMixin:
                                    self.env.now)
         if dst == self.rank:
             # payload snapshot taken now, so the send completes immediately
-            data = self.memory.read(local_addr, size)
+            data = self.memory.read_bytes(local_addr, size)
             yield self.env.timeout(self.memory.memcpy_cost_ns(size))
             self._self_rendezvous.append((tag, data, req.rid))
             self.requests.complete(req.rid, self.env.now)
@@ -213,6 +213,7 @@ class MessagingMixin:
             raise SimulationError(
                 "rendezvous receive needs a scratch_addr landing buffer")
         yield from self.recv_rdma(info, scratch_addr)
-        data = self.memory.read(scratch_addr, info.size)
+        # owned copy: the scratch landing area is reused by the next receive
+        data = self.memory.read_bytes(scratch_addr, info.size)
         yield self.env.timeout(self.memory.memcpy_cost_ns(info.size))
         return (info.src, info.tag, data)

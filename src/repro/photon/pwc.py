@@ -266,7 +266,8 @@ class PwcMixin:
 
     # ------------------------------------------------------------------ self ops
     def _self_put(self, local_addr, size, remote_addr, local_cid, remote_cid):
-        data = self.memory.read(local_addr, size) if size else b""
+        # owned snapshot: the source may be overwritten during the copy delay
+        data = self.memory.read_bytes(local_addr, size) if size else b""
         yield self.env.timeout(self.memory.memcpy_cost_ns(size))
         if size:
             self.memory.write(remote_addr, data)
@@ -276,7 +277,7 @@ class PwcMixin:
             self.remote_cids.append((remote_cid, self.rank))
 
     def _self_get(self, local_addr, size, remote_addr, local_cid, remote_cid):
-        data = self.memory.read(remote_addr, size)
+        data = self.memory.read_bytes(remote_addr, size)
         yield self.env.timeout(self.memory.memcpy_cost_ns(size))
         self.memory.write(local_addr, data)
         if local_cid is not None:

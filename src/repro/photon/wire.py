@@ -58,8 +58,14 @@ class CompletionEntry:
         return _COMPLETION.pack(self.seq, self.cid, self.src, self.op)
 
     @staticmethod
-    def unpack(raw: bytes) -> "CompletionEntry":
+    def unpack(raw) -> "CompletionEntry":
         seq, cid, src, op = _COMPLETION.unpack(raw)
+        return CompletionEntry(seq, cid, src, op)
+
+    @staticmethod
+    def unpack_from(buf, offset: int = 0) -> "CompletionEntry":
+        """Decode in place from any buffer — no intermediate slice."""
+        seq, cid, src, op = _COMPLETION.unpack_from(buf, offset)
         return CompletionEntry(seq, cid, src, op)
 
 
@@ -79,8 +85,14 @@ class EagerHeader:
                                self.op)
 
     @staticmethod
-    def unpack(raw: bytes) -> "EagerHeader":
+    def unpack(raw) -> "EagerHeader":
         seq, cid, src, size, op = _EAGER_HDR.unpack(raw)
+        return EagerHeader(seq, cid, src, size, op)
+
+    @staticmethod
+    def unpack_from(buf, offset: int = 0) -> "EagerHeader":
+        """Decode in place from any buffer — no intermediate slice."""
+        seq, cid, src, size, op = _EAGER_HDR.unpack_from(buf, offset)
         return EagerHeader(seq, cid, src, size, op)
 
 
@@ -101,8 +113,14 @@ class InfoEntry:
                           self.size, self.rkey, self.src)
 
     @staticmethod
-    def unpack(raw: bytes) -> "InfoEntry":
+    def unpack(raw) -> "InfoEntry":
         seq, req, tag, addr, size, rkey, src = _INFO.unpack(raw)
+        return InfoEntry(seq, req, tag, addr, size, rkey, src)
+
+    @staticmethod
+    def unpack_from(buf, offset: int = 0) -> "InfoEntry":
+        """Decode in place from any buffer — no intermediate slice."""
+        seq, req, tag, addr, size, rkey, src = _INFO.unpack_from(buf, offset)
         return InfoEntry(seq, req, tag, addr, size, rkey, src)
 
 
@@ -117,6 +135,12 @@ class FinEntry:
         return _FIN.pack(self.seq, self.req)
 
     @staticmethod
-    def unpack(raw: bytes) -> "FinEntry":
+    def unpack(raw) -> "FinEntry":
         seq, req = _FIN.unpack(raw)
+        return FinEntry(seq, req)
+
+    @staticmethod
+    def unpack_from(buf, offset: int = 0) -> "FinEntry":
+        """Decode in place from any buffer — no intermediate slice."""
+        seq, req = _FIN.unpack_from(buf, offset)
         return FinEntry(seq, req)

@@ -107,7 +107,8 @@ class GlobalAddressSpace:
         yield from self.ph.wait_all(rids)
         for rid in rids:
             self.ph.free_request(rid)
-        data = self.ph.memory.read(scratch_addr, length)
+        # owned copy: the caller keeps the payload, the scratch area is reused
+        data = self.ph.memory.read_bytes(scratch_addr, length)
         yield self.ph.env.timeout(self.ph.memory.memcpy_cost_ns(length))
         return data
 

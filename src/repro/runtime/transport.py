@@ -238,7 +238,9 @@ class PhotonTransport:
                     self.ph.counters.add("transport.parcel_failures")
                 return None
             self._record_success(info.src)
-            raw = self.ph.memory.read(self._landings[idx].addr, info.size)
+            # owned copy: the landing slot is recycled on the next line
+            raw = self.ph.memory.read_bytes(self._landings[idx].addr,
+                                            info.size)
             yield self.ph.env.timeout(
                 self.ph.memory.memcpy_cost_ns(info.size))
             self._free_landings.append(idx)
@@ -310,8 +312,9 @@ class MpiTransport:
         yield from self.comm.engine._progress_once()
         for i, req in enumerate(self._recv_reqs):
             if req is not None and req.done:
-                raw = self.comm.memory.read(self._recv_bufs[i],
-                                            req.status.count)
+                # owned copy: the window buffer is immediately re-posted
+                raw = self.comm.memory.read_bytes(self._recv_bufs[i],
+                                                  req.status.count)
                 yield self.comm.env.timeout(
                     self.comm.memory.memcpy_cost_ns(req.status.count))
                 self.comm.engine.live_requests.pop(req.rid, None)

@@ -23,6 +23,7 @@ nanoseconds — no floating-point time drift.
 from __future__ import annotations
 
 import heapq
+from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -326,11 +327,19 @@ class Environment:
         assert proc.value == 100
     """
 
+    #: cap on recycled Timeout objects kept per environment
+    _FREELIST_MAX = 512
+
     def __init__(self, initial_time: int = 0):
         self._now = int(initial_time)
         self._queue: List = []  # (time, priority, seq, event)
         self._seq = 0
         self._active_process: Optional[Process] = None
+        # Timeouts dominate event traffic (every modelled cost is one), so
+        # processed instances are recycled instead of reallocated.  An
+        # instance is only eligible once nothing outside step() can still
+        # reach it — see the refcount guard there.
+        self._timeout_freelist: List[Timeout] = []
 
     # -- clock --------------------------------------------------------------
     @property
@@ -347,6 +356,17 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: int, value: Any = None) -> Timeout:
+        freelist = self._timeout_freelist
+        if freelist:
+            delay = int(delay)
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay {delay}")
+            t = freelist.pop()
+            t.delay = delay
+            t._ok = True
+            t._value = value
+            self._schedule(t, delay, NORMAL)
+            return t
         return Timeout(self, int(delay), value)
 
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
@@ -386,6 +406,19 @@ class Environment:
             # A failed event (or crashed process) nobody waited on: surface
             # the error instead of silently swallowing it.
             raise event._value
+        # Recycle plain Timeouts nobody can reach any more: the only live
+        # references are this frame's ``event`` local and getrefcount's own
+        # argument, i.e. a count of exactly 2.  Waiters detached above (the
+        # callback list was swapped out), so reuse is invisible.  Exact type
+        # check: subclasses may carry extra state.
+        if (type(event) is Timeout and getrefcount(event) == 2
+                and len(self._timeout_freelist) < self._FREELIST_MAX):
+            callbacks.clear()
+            event.callbacks = callbacks
+            event._value = Event._PENDING
+            event._scheduled = False
+            event._processed = False
+            self._timeout_freelist.append(event)
 
     def run(self, until: Any = None) -> Any:
         """Run until the queue drains, a deadline, or an event fires.
@@ -394,25 +427,27 @@ class Environment:
         ns, or an :class:`Event` — in the latter case ``run`` returns the
         event's value (raising its exception if it failed).
         """
+        queue = self._queue
+        step = self.step
         if until is None:
-            while self._queue:
-                self.step()
+            while queue:
+                step()
             return None
         if isinstance(until, Event):
             stop = until
-            while not stop.processed:
-                if not self._queue:
+            while not stop._processed:
+                if not queue:
                     raise SimulationError(
                         "event queue drained before the awaited event fired "
                         "(deadlock in the model?)")
-                self.step()
+                step()
             if stop._ok:
                 return stop._value
             raise stop._value
         deadline = int(until)
         if deadline < self._now:
             raise SimulationError("run(until=...) deadline is in the past")
-        while self._queue and self._queue[0][0] <= deadline:
-            self.step()
+        while queue and queue[0][0] <= deadline:
+            step()
         self._now = deadline
         return None

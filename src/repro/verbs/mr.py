@@ -62,11 +62,12 @@ class MemoryRegion:
             raise ProtectionError(
                 f"{what}: MR rkey={self.rkey} lacks {need}")
 
-    def read(self, addr: int, length: int) -> bytes:
+    def read(self, addr: int, length: int) -> memoryview:
+        """Zero-copy view (see :meth:`repro.fabric.memory.Memory.read`)."""
         self.check(addr, length, Access.NONE, "local read")
         return self.context.memory.read(addr, length)
 
-    def write(self, addr: int, data: bytes) -> None:
+    def write(self, addr: int, data) -> None:
         self.check(addr, len(data), Access.LOCAL_WRITE, "local write")
         self.context.memory.write(addr, data)
 

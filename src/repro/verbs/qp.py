@@ -301,7 +301,10 @@ class QueuePair:
         if wr.length:
             if wr.inline:
                 mr = self.pd.find_local(wr.local_addr, wr.length)
-                inline_data = self.context.memory.read(wr.local_addr, wr.length)
+                # inline payloads are captured at post time (they travel in
+                # the WQE), so this must be an owned snapshot, not a view
+                inline_data = self.context.memory.read_bytes(
+                    wr.local_addr, wr.length)
             else:
                 fetch = self._local_fetch(wr)
         peer = self.peer
@@ -323,7 +326,9 @@ class QueuePair:
         if wr.length:
             if wr.inline:
                 self.pd.find_local(wr.local_addr, wr.length)
-                inline_data = self.context.memory.read(wr.local_addr, wr.length)
+                # capture-at-post semantics: snapshot, not a live view
+                inline_data = self.context.memory.read_bytes(
+                    wr.local_addr, wr.length)
             else:
                 fetch = self._local_fetch(wr)
         tmem = target.memory

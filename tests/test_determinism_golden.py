@@ -1,0 +1,264 @@
+"""Golden-trace determinism: the optimized hot path must be a no-op in
+simulated time.
+
+The wall-clock work in this repo (zero-copy payload plumbing, event-kernel
+fast paths, the clean-fabric fast path) is only admissible if it changes
+*nothing* observable in simulation: same event trace, same counters, same
+final clock, same experiment tables, on clean **and** lossy fabrics.
+
+The ``GOLDEN`` fingerprints below were generated from the pre-optimization
+tree (``python tests/test_determinism_golden.py`` prints fresh ones) and are
+asserted verbatim here.  Any change to event ordering, payload routing, RNG
+consumption, or timing arithmetic shows up as a hash mismatch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.bench.experiments import r1_latency, r4_ledger, r17_faults
+from repro.cluster import build_cluster
+from repro.minimpi import mpi_init
+from repro.photon import PhotonConfig, photon_init
+from repro.sim.core import SimulationError
+
+WAIT = 10 ** 12
+
+
+def _hash(obj) -> str:
+    return hashlib.sha256(repr(obj).encode()).hexdigest()
+
+
+def _result_fingerprint(res) -> str:
+    """Hash everything an experiment reports: id, headers, every numeric
+    cell, and every shape-check verdict."""
+    return _hash((res.exp_id, tuple(res.headers),
+                  tuple(tuple(row) for row in res.rows),
+                  tuple(sorted(res.checks.items()))))
+
+
+def _trace_fingerprint(cl) -> str:
+    """Hash the full event trace, counters, and the final simulated clock."""
+    recs = tuple((r.time, r.category, r.fields) for r in cl.tracer.records)
+    return _hash((cl.env.now, recs,
+                  tuple(sorted(cl.counters.snapshot().items()))))
+
+
+# --------------------------------------------------------------------------
+# workloads (trace-enabled, exercising photon + minimpi data paths)
+# --------------------------------------------------------------------------
+
+def _photon_clean_workload():
+    """Clean fabric: PWC puts with completions, then an eager send flood."""
+    cl = build_cluster(2, params="ib-fdr", seed=3, trace=True)
+    ph = photon_init(cl)
+    size = 8192
+    src = ph[0].buffer(size)
+    dst = ph[1].buffer(size)
+    pattern = bytes(range(256)) * (size // 256)
+    cl[0].memory.write(src.addr, pattern)
+
+    def sender(env):
+        for i in range(5):
+            yield from ph[0].put_pwc(1, src.addr, size, dst.addr, dst.rkey,
+                                     local_cid=i + 1, remote_cid=i + 1)
+            c = yield from ph[0].wait_completion("local", timeout_ns=WAIT)
+            if c is None or not c.ok:
+                raise SimulationError(f"clean put {i} failed")
+        for i in range(20):
+            yield from ph[0].send_pwc(1, bytes([i]) * 64, remote_cid=100 + i)
+
+    def receiver(env):
+        for _ in range(5):
+            c = yield from ph[1].wait_completion("remote", timeout_ns=WAIT)
+            if c is None:
+                raise SimulationError("receiver starved")
+        for _ in range(20):
+            m = yield from ph[1].wait_message(timeout_ns=WAIT)
+            if m is None:
+                raise SimulationError("eager flood stalled")
+
+    procs = [cl.env.process(sender(cl.env)), cl.env.process(receiver(cl.env))]
+    cl.env.run(until=cl.env.all_of(procs))
+    if bytes(cl[1].memory.read(dst.addr, size)) != pattern:
+        raise SimulationError("clean payload corrupted")
+    return cl
+
+
+def _mpi_clean_workload():
+    """Clean fabric: minimpi eager and rendezvous round trips."""
+    cl = build_cluster(2, params="ib-fdr", seed=5, trace=True)
+    mm = mpi_init(cl)
+    small, big = 64, 32768
+    src_s = cl[0].memory.alloc(small)
+    src_b = cl[0].memory.alloc(big)
+    dst_s = cl[1].memory.alloc(small)
+    dst_b = cl[1].memory.alloc(big)
+    cl[0].memory.write(src_s, b"\xa5" * small)
+    cl[0].memory.write(src_b, bytes(range(256)) * (big // 256))
+
+    def sender(env):
+        for tag, (addr, size) in enumerate([(src_s, small), (src_b, big)]):
+            req = yield from mm[0].isend(addr, size, 1, tag=tag)
+            ok = yield from mm[0].engine.wait(req, timeout_ns=WAIT)
+            if not ok or req.failed:
+                raise SimulationError(f"mpi clean send tag={tag} failed")
+
+    def receiver(env):
+        for tag, (addr, size) in enumerate([(dst_s, small), (dst_b, big)]):
+            req = yield from mm[1].irecv(addr, size, src=0, tag=tag)
+            ok = yield from mm[1].engine.wait(req, timeout_ns=WAIT)
+            if not ok or req.failed:
+                raise SimulationError(f"mpi clean recv tag={tag} failed")
+
+    procs = [cl.env.process(sender(cl.env)), cl.env.process(receiver(cl.env))]
+    cl.env.run(until=cl.env.all_of(procs))
+    if bytes(cl[1].memory.read(dst_b, big)) != bytes(range(256)) * (big // 256):
+        raise SimulationError("mpi clean payload corrupted")
+    return cl
+
+
+def _photon_lossy_workload():
+    """Lossy fabric, NIC ARQ off: every drop recovered by Photon replay."""
+    cl = build_cluster(2, params="ib-fdr", seed=7, trace=True,
+                       link__loss_mode="lossy", link__drop_rate=0.02,
+                       nic__transport_retries=0)
+    ph = photon_init(cl, PhotonConfig(max_op_retries=5))
+    size = 16384
+    src = ph[0].buffer(size)
+    dst = ph[1].buffer(size)
+    pattern = bytes(range(256)) * (size // 256)
+    cl[0].memory.write(src.addr, pattern)
+
+    def sender(env):
+        for i in range(6):
+            yield from ph[0].put_pwc(1, src.addr, size, dst.addr, dst.rkey,
+                                     local_cid=i + 1, remote_cid=i + 1)
+            c = yield from ph[0].wait_completion("local", timeout_ns=WAIT)
+            if c is None or not c.ok:
+                raise SimulationError(f"lossy put {i} failed")
+
+    def receiver(env):
+        for _ in range(6):
+            c = yield from ph[1].wait_completion("remote", timeout_ns=WAIT)
+            if c is None:
+                raise SimulationError("lossy receiver starved")
+
+    procs = [cl.env.process(sender(cl.env)), cl.env.process(receiver(cl.env))]
+    cl.env.run(until=cl.env.all_of(procs))
+    if bytes(cl[1].memory.read(dst.addr, size)) != pattern:
+        raise SimulationError("lossy payload corrupted")
+    return cl
+
+
+def _mpi_lossy_workload():
+    """Lossy fabric, NIC ARQ off: minimpi resend/refetch error path."""
+    cl = build_cluster(2, params="ib-fdr", seed=11, trace=True,
+                       link__loss_mode="lossy", link__drop_rate=0.02,
+                       nic__transport_retries=0)
+    mm = mpi_init(cl)
+    size = 16384
+    src = cl[0].memory.alloc(size)
+    dst = cl[1].memory.alloc(size)
+    cl[0].memory.write(src, bytes(range(256)) * (size // 256))
+
+    def sender(env):
+        for i in range(4):
+            req = yield from mm[0].isend(src, size, 1, tag=i)
+            ok = yield from mm[0].engine.wait(req, timeout_ns=WAIT)
+            if not ok or req.failed:
+                raise SimulationError(f"mpi lossy send {i} failed")
+
+    def receiver(env):
+        for i in range(4):
+            req = yield from mm[1].irecv(dst, size, src=0, tag=i)
+            ok = yield from mm[1].engine.wait(req, timeout_ns=WAIT)
+            if not ok or req.failed:
+                raise SimulationError(f"mpi lossy recv {i} failed")
+
+    procs = [cl.env.process(sender(cl.env)), cl.env.process(receiver(cl.env))]
+    cl.env.run(until=cl.env.all_of(procs))
+    return cl
+
+
+# --------------------------------------------------------------------------
+# golden fingerprints — generated from the pre-optimization tree
+# --------------------------------------------------------------------------
+
+GOLDEN = {
+    "r1_table":
+        "7f597177c8c9dea80f1d130d661ae6753229d74e492c6b40ce68c4cd2c1db60a",
+    "r4_table":
+        "1bd35e6cddef76753f45b250c75b356fd321c3069bd428c051ae8c26c2f233a7",
+    "r17_table":
+        "c7c6915630c1ce809568d7048053c4ed823dd72ae5a28cd048f914cac32d982f",
+    "photon_clean_trace":
+        "c6acc522238aaf26e987a0886cad2a2060ff244592e9ded11ec7ea3c4b830473",
+    "mpi_clean_trace":
+        "58ddc9313cd6a4e192e0c01eb2ea0f64bb9fd0176bc275c0ef7cc35d618b21d9",
+    "photon_lossy_trace":
+        "6a65d52bba149e7727c83bbb791f9dd23367ad649507e4d0709e857fc373d686",
+    "mpi_lossy_trace":
+        "c1cfa22da2709a880bbb2ce760415bb6f4f124ff5a0aa3033fbce652b74643dc",
+}
+
+
+def _fingerprints() -> dict:
+    return {
+        "r1_table": _result_fingerprint(r1_latency.run(quick=True)),
+        "r4_table": _result_fingerprint(r4_ledger.run(quick=True)),
+        "r17_table": _result_fingerprint(r17_faults.run(quick=True)),
+        "photon_clean_trace": _trace_fingerprint(_photon_clean_workload()),
+        "mpi_clean_trace": _trace_fingerprint(_mpi_clean_workload()),
+        "photon_lossy_trace": _trace_fingerprint(_photon_lossy_workload()),
+        "mpi_lossy_trace": _trace_fingerprint(_mpi_lossy_workload()),
+    }
+
+
+# --------------------------------------------------------------------------
+# tests
+# --------------------------------------------------------------------------
+
+def test_r1_table_matches_golden():
+    assert _result_fingerprint(r1_latency.run(quick=True)) == \
+        GOLDEN["r1_table"]
+
+
+def test_r4_table_matches_golden():
+    assert _result_fingerprint(r4_ledger.run(quick=True)) == \
+        GOLDEN["r4_table"]
+
+
+def test_r17_table_matches_golden():
+    """Faulty fabric included: the lossy rows replay real drops."""
+    assert _result_fingerprint(r17_faults.run(quick=True)) == \
+        GOLDEN["r17_table"]
+
+
+def test_clean_traces_match_golden():
+    assert _trace_fingerprint(_photon_clean_workload()) == \
+        GOLDEN["photon_clean_trace"]
+    assert _trace_fingerprint(_mpi_clean_workload()) == \
+        GOLDEN["mpi_clean_trace"]
+
+
+def test_lossy_traces_match_golden():
+    assert _trace_fingerprint(_photon_lossy_workload()) == \
+        GOLDEN["photon_lossy_trace"]
+    assert _trace_fingerprint(_mpi_lossy_workload()) == \
+        GOLDEN["mpi_lossy_trace"]
+
+
+def test_run_twice_identical():
+    """Same seed, same workload, back to back in one interpreter: the event
+    trace must be bit-identical (no hidden global state, no id()/hash()
+    ordering, no free-list identity leaks)."""
+    assert _trace_fingerprint(_photon_clean_workload()) == \
+        _trace_fingerprint(_photon_clean_workload())
+    assert _trace_fingerprint(_photon_lossy_workload()) == \
+        _trace_fingerprint(_photon_lossy_workload())
+
+
+if __name__ == "__main__":  # regenerate the fingerprints
+    import json
+    print(json.dumps(_fingerprints(), indent=2))

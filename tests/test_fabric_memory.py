@@ -63,6 +63,44 @@ def test_read_negative_length_rejected():
         mem.read(0, -1)
 
 
+def test_read_returns_zero_copy_view():
+    mem = make()
+    addr = mem.alloc(8)
+    mem.write(addr, b"AAAAAAAA")
+    view = mem.read(addr, 8)
+    assert isinstance(view, memoryview)
+    # a view, not a snapshot: later writes show through it
+    mem.write(addr, b"BBBBBBBB")
+    assert view == b"BBBBBBBB"
+    # read_bytes is the owned-snapshot variant
+    snap = mem.read_bytes(addr, 8)
+    assert isinstance(snap, bytes)
+    mem.write(addr, b"CCCCCCCC")
+    assert snap == b"BBBBBBBB"
+
+
+def test_write_accepts_any_buffer_without_copy():
+    mem = make()
+    addr = mem.alloc(12)
+    mem.write(addr, bytearray(b"from-bytearr"))
+    assert mem.read(addr, 12) == b"from-bytearr"
+    mem.write(addr, memoryview(b"from-memview"))
+    assert mem.read(addr, 12) == b"from-memview"
+    # a view of this memory itself is legal too (snapshotted internally)
+    other = mem.alloc(12)
+    mem.write(other, mem.read(addr, 12))
+    assert mem.read(other, 12) == b"from-memview"
+
+
+def test_write_validates_before_mutating():
+    mem = Memory(64, HOST)
+    mem.write(0, b"\xAA" * 64)
+    with pytest.raises(MemoryError_):
+        mem.write(60, b"too long")
+    # failed write must not have touched the prefix that was in range
+    assert mem.read(0, 64) == b"\xAA" * 64
+
+
 def test_u64_roundtrip():
     mem = make()
     addr = mem.alloc(8)

@@ -101,7 +101,9 @@ def test_mixed_size_messages_arrive_in_order(msgs, seed):
     def receiver(env):
         for i in range(len(msgs)):
             st_ = yield from comms[1].recv(dst_heap, 1 << 20, 0, tag=5)
-            got.append(cl[1].memory.read(dst_heap, st_.count))
+            # read_bytes: dst_heap is reused for every message, so each
+            # retained payload needs an owned snapshot
+            got.append(cl[1].memory.read_bytes(dst_heap, st_.count))
 
     p0 = cl.env.process(sender(cl.env))
     p1 = cl.env.process(receiver(cl.env))

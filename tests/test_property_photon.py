@@ -168,7 +168,9 @@ def test_rendezvous_any_size_intact(sizes):
             info = yield from ph[1].wait_recv_info(src=0, tag=i,
                                                    timeout_ns=10 ** 12)
             yield from ph[1].recv_rdma(info, dst.addr)
-            got.append(cl[1].memory.read(dst.addr, size))
+            # read_bytes: dst is reused for every message, so each retained
+            # payload needs an owned snapshot
+            got.append(cl[1].memory.read_bytes(dst.addr, size))
 
     p0 = cl.env.process(sender(cl.env))
     p1 = cl.env.process(receiver(cl.env))
