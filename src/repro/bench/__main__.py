@@ -10,6 +10,9 @@ Usage::
     python -m repro.bench --smoke --timing    # wall-clock medians ->
                                               #   BENCH_wallclock.json
     python -m repro.bench --smoke --profile   # cProfile, top-25 cumulative
+    python -m repro.bench --stats stats.json --trace-out trace.jsonl
+                                   # observability artifacts from an
+                                   # instrumented lossy demo workload
 """
 
 from __future__ import annotations
@@ -78,7 +81,28 @@ def main(argv=None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="run under cProfile and print the top 25 "
                              "functions by cumulative time")
+    parser.add_argument("--stats", metavar="PATH",
+                        help="run the instrumented observability demo "
+                             "(spans + tracing on a lossy fabric) and "
+                             "write the merged per-rank stats snapshot")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="with --stats (or alone): also write the "
+                             "JSONL trace/span export of the demo run")
     args = parser.parse_args(argv)
+
+    if args.stats or args.trace_out:
+        # observability artifacts come from a dedicated instrumented run,
+        # not from the (trace-off) benchmark experiments
+        from ..obs import report as obs_report
+        obs_argv = []
+        if args.stats:
+            obs_argv += ["--json", args.stats]
+        if args.trace_out:
+            obs_argv += ["--trace", args.trace_out]
+        rc = obs_report.main(obs_argv)
+        if rc or not (args.experiments or args.smoke or args.full
+                      or args.timing or args.profile or args.markdown):
+            return rc
 
     if args.smoke and args.full:
         parser.error("--smoke and --full are mutually exclusive")

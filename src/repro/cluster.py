@@ -14,9 +14,10 @@ from .fabric.memory import Memory
 from .fabric.nic import Nic
 from .fabric.params import FabricParams, preset
 from .fabric.topology import Topology, make_topology
+from .obs.registry import MetricsRegistry
 from .sim.core import Environment, Process
 from .sim.rng import RngRegistry
-from .sim.trace import Counters, Tracer
+from .sim.trace import DEFAULT_TRACE_CAP, Counters, Tracer
 from .util.units import MiB
 from .verbs.device import Context, Directory
 
@@ -39,15 +40,24 @@ class Cluster:
     def __init__(self, env: Environment, params: FabricParams,
                  topology: Topology, ranks: List[RankNode],
                  directory: Directory, counters: Counters, tracer: Tracer,
-                 rng: RngRegistry):
+                 rng: RngRegistry, metrics: Optional[MetricsRegistry] = None):
         self.env = env
         self.params = params
         self.topology = topology
         self.ranks = ranks
         self.directory = directory
+        #: cluster-wide aggregate counters (the metrics registry's mirror
+        #: target) — names and values identical to the pre-registry era
         self.counters = counters
         self.tracer = tracer
         self.rng = rng
+        #: per-rank metrics registry (scoped counters, histograms, spans)
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry(len(ranks), aggregate=counters)
+
+    def scope(self, rank: int):
+        """The per-rank counter scope (see :class:`repro.obs.registry`)."""
+        return self.metrics.scope(rank)
 
     @property
     def n(self) -> int:
@@ -76,6 +86,8 @@ def build_cluster(n: int,
                   mem_size: int = 64 * MiB,
                   seed: int = 0,
                   trace: bool = False,
+                  spans: bool = False,
+                  trace_max_records: int = DEFAULT_TRACE_CAP,
                   **overrides) -> Cluster:
     """Assemble a cluster of ``n`` ranks.
 
@@ -86,6 +98,11 @@ def build_cluster(n: int,
         ``"eth-10g"``) or a :class:`FabricParams` instance.
     topology:
         Override the preset's topology ("star" or "torus2d").
+    spans:
+        Record per-op latency spans in the metrics registry (host-side
+        only; cannot perturb simulated time).
+    trace_max_records:
+        Ring capacity of the tracer's record store.
     overrides:
         Nested parameter overrides, e.g. ``link__mtu=1024``.
     """
@@ -94,16 +111,23 @@ def build_cluster(n: int,
     if overrides:
         params = params.with_overrides(**overrides)
     env = Environment()
-    counters = Counters()
-    tracer = Tracer(enabled=trace)
+    metrics = MetricsRegistry(n, spans_enabled=spans)
+    # Every component writes through a scope; the registry mirrors each
+    # write into this aggregate, so ``cluster.counters`` stays identical
+    # to the old shared-Counters object (the golden-trace suite hashes it)
+    # while per-rank attribution becomes available via ``cluster.metrics``.
+    counters = metrics.aggregate
+    tracer = Tracer(enabled=trace, max_records=trace_max_records)
     rng = RngRegistry(seed)
     topo = make_topology(topology or params.topology, env, n,
-                         params.link, counters, rng=rng)
+                         params.link, metrics.fabric, rng=rng)
     directory = Directory()
     ranks: List[RankNode] = []
     for r in range(n):
+        scope = metrics.scope(r)
         memory = Memory(mem_size, params.host, rank=r)
-        nic = Nic(env, r, params, memory, topo, counters, tracer)
-        context = Context(env, r, nic, memory, params, directory, counters)
+        nic = Nic(env, r, params, memory, topo, scope, tracer)
+        context = Context(env, r, nic, memory, params, directory, scope)
         ranks.append(RankNode(rank=r, memory=memory, nic=nic, context=context))
-    return Cluster(env, params, topo, ranks, directory, counters, tracer, rng)
+    return Cluster(env, params, topo, ranks, directory, counters, tracer, rng,
+                   metrics=metrics)

@@ -71,11 +71,21 @@ class Link:
         #: the last hop of the chunk's path; set by the topology.
         self.sink: Optional[Callable[[Chunk], None]] = None
         self._busy_ns = 0
+        # per-link tallies (the counters above are fabric-wide)
+        self._chunks = 0
+        self._bytes = 0
+        self._drops = 0
         env.process(self._server(), name=f"link:{name}")
 
     def occupancy_ns(self) -> int:
         """Total time this link spent serialising (utilisation numerator)."""
         return self._busy_ns
+
+    def stats(self) -> dict:
+        """JSON-serializable per-link tallies (fabric section of reports)."""
+        return {"name": self.name, "chunks": self._chunks,
+                "bytes": self._bytes, "drops": self._drops,
+                "busy_ns": self._busy_ns, "latency_ns": self.latency_ns}
 
     def _server(self):
         # ``rng`` is assigned once at construction (only when the link was
@@ -97,6 +107,8 @@ class Link:
             chunk: Chunk = yield inbox_get()
             ser = serialization_ns(chunk.wire_bytes, bw)
             self._busy_ns += ser
+            self._chunks += 1
+            self._bytes += chunk.wire_bytes
             counters.add("link.chunks")
             counters.add("link.bytes", chunk.wire_bytes)
             yield env.timeout(ser)
@@ -114,6 +126,7 @@ class Link:
                     # its serialisation time, then vanishes.  Recovery (if
                     # any) is end-to-end at the sending NIC.
                     if self.rng.random() < self.params.drop_rate:
+                        self._drops += 1
                         self.counters.add("link.drops")
                         self.counters.add("link.lost_bytes", chunk.wire_bytes)
                         self._busy_ns += ser
@@ -124,10 +137,13 @@ class Link:
                     # timeout plus a fresh serialisation before it finally
                     # goes through
                     while self.rng.random() < self.params.drop_rate:
+                        self._drops += 1
                         self.counters.add("link.drops")
                         self._busy_ns += ser
                         yield env.timeout(ser + self.params.retransmit_ns)
             self._busy_ns += ser
+            self._chunks += 1
+            self._bytes += chunk.wire_bytes
             self.counters.add("link.chunks")
             self.counters.add("link.bytes", chunk.wire_bytes)
             yield env.timeout(ser)

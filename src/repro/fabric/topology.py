@@ -55,6 +55,11 @@ class Topology:
             raise SimulationError(f"no NIC attached at rank {rank}")
         sink(chunk)
 
+    # -- observability ----------------------------------------------------------
+    def iter_links(self) -> List[Link]:
+        """Every link this topology owns (for per-link stats reporting)."""
+        raise NotImplementedError
+
     # -- routing ----------------------------------------------------------------
     def path(self, src: int, dst: int) -> List[Link]:
         raise NotImplementedError
@@ -91,6 +96,9 @@ class Star(Topology):
                         rng=self._link_rng(f"down{r}"))
             down.sink = lambda chunk, rank=r: self.deliver(rank, chunk)
             self.downlinks.append(down)
+
+    def iter_links(self) -> List[Link]:
+        return self.uplinks + self.downlinks
 
     def path(self, src: int, dst: int) -> List[Link]:
         self._check_pair(src, dst)
@@ -139,6 +147,9 @@ class Torus2D(Topology):
             if nb != rank and nb not in out:
                 out.append(nb)
         return out
+
+    def iter_links(self) -> List[Link]:
+        return [self._hop[key] for key in sorted(self._hop)] + self._eject
 
     @staticmethod
     def _steps(delta: int, extent: int) -> List[int]:

@@ -112,6 +112,10 @@ class Comm:
         st = yield from self.engine.iprobe(src, tag)
         return st
 
+    def stats(self):
+        """JSON-serializable engine snapshot for this rank."""
+        return self.engine.stats()
+
     # ------------------------------------------------------------- staging
     def _send_bytes(self, dst: int, data: bytes, tag: int):
         """Stage + blocking-send a bytes payload (generator)."""

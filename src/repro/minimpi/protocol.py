@@ -49,7 +49,7 @@ class MPIRequest:
     """Handle for a non-blocking operation."""
 
     __slots__ = ("rid", "kind", "done", "status", "t_posted", "t_completed",
-                 "error", "on_settle")
+                 "error", "on_settle", "span")
     _ids = itertools.count(1)
 
     def __init__(self, kind: str, now: int):
@@ -64,6 +64,8 @@ class MPIRequest:
         #: fired exactly once when the request turns terminal — resource
         #: cleanup hook (rcache release)
         self.on_settle: Optional[Callable[[], None]] = None
+        #: open op-latency span (None when span recording is disabled)
+        self.span = None
 
     @property
     def failed(self) -> bool:
@@ -79,6 +81,8 @@ class MPIRequest:
             raise SimulationError(f"request {self.rid} completed twice")
         self.done = True
         self.t_completed = now
+        if self.span is not None:
+            self.span.end(now)
         self._settle()
 
     def fail(self, now: int, error: str = "retry_exceeded") -> None:
@@ -88,6 +92,8 @@ class MPIRequest:
         self.error = error
         self.done = True
         self.t_completed = now
+        if self.span is not None:
+            self.span.end(now, status=error)
         self._settle()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -119,7 +125,8 @@ class Engine:
         self.env: Environment = cluster.env
         self.context = node.context
         self.memory = node.memory
-        self.counters = cluster.counters
+        # this rank's counter scope: writes mirror into cluster.counters
+        self.counters = cluster.scope(node.rank)
         self.pd = self.context.alloc_pd()
         depth = cluster.n * (config.eager_credits + config.prepost) * 2 + 256
         self.send_cq = self.context.create_cq(capacity=depth)
@@ -177,6 +184,10 @@ class Engine:
         if size < 0 or tag < 0:
             raise SimulationError("isend needs size >= 0 and tag >= 0")
         req = MPIRequest("send", self.env.now)
+        name = ("mpi.eager_send" if size <= self.config.eager_threshold
+                else "mpi.rndv_send")
+        req.span = self.counters.span(name, self.env.now, peer=dst,
+                                      nbytes=size)
         self.live_requests[req.rid] = req
         self.counters.add("mpi.isends")
         yield self.env.timeout(self.config.sw_overhead_ns)
@@ -306,6 +317,8 @@ class Engine:
     def irecv(self, addr: int, length: int, src: int, tag: int):
         """Non-blocking receive into simulated memory (generator → request)."""
         req = MPIRequest("recv", self.env.now)
+        req.span = self.counters.span("mpi.recv", self.env.now,
+                                      peer=src, nbytes=length)
         self.live_requests[req.rid] = req
         self.counters.add("mpi.irecvs")
         yield self.env.timeout(self.config.sw_overhead_ns)
@@ -482,6 +495,22 @@ class Engine:
         ch.recv_slots[new_id] = slot
         ch.qp.post_recv(RecvWR(wr_id=new_id, addr=slot,
                                length=self.slot_size))
+
+    # ------------------------------------------------------------- telemetry
+    def stats(self) -> Dict[str, object]:
+        """JSON-serializable engine snapshot (mirrors Endpoint.stats())."""
+        return {
+            "rank": self.rank,
+            "live_requests": len(self.live_requests),
+            "pending_requests": sum(1 for r in self.live_requests.values()
+                                    if not r.done),
+            "posted_recvs": len(self.matcher.posted),
+            "unexpected_queued": len(self.matcher.unexpected),
+            "unexpected_peak": self.matcher.max_unexpected,
+            "send_slots_free": {
+                str(r): len(ch.send_slots) for r, ch in self.peers.items()},
+            "rcache": self.rcache.occupancy(),
+        }
 
     # ------------------------------------------------------------- waits
     def _wait_until(self, predicate: Callable[[], bool],

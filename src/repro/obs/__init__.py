@@ -1,0 +1,19 @@
+"""Observability: metrics registry, op spans, trace export, reports.
+
+See :mod:`repro.obs.registry` for the per-rank metrics core,
+:mod:`repro.obs.export` for the bounded JSONL trace export, and
+:mod:`repro.obs.report` for the merged snapshot + CLI
+(``python -m repro.obs.report``).  ``report`` is imported lazily — it
+pulls in the whole stack, while this package root must stay importable
+from :mod:`repro.cluster`.
+"""
+
+from .export import export_jsonl
+from .registry import (DEFAULT_SPAN_CAP, FABRIC_SCOPE, Histogram,
+                       MetricsRegistry, ScopedCounters, Span)
+
+__all__ = [
+    "MetricsRegistry", "ScopedCounters", "Histogram", "Span",
+    "FABRIC_SCOPE", "DEFAULT_SPAN_CAP",
+    "export_jsonl",
+]

@@ -1,0 +1,59 @@
+"""Bounded JSONL export of traces and spans.
+
+One JSON object per line, ``type``-tagged so mixed streams stay greppable:
+
+- ``{"type": "trace", "time": ..., "category": ..., ...fields}`` — one
+  :class:`~repro.sim.trace.TraceRecord`;
+- ``{"type": "span", "span": ..., "rank": ..., "peer": ..., "bytes": ...,
+  "t_start": ..., "t_end": ..., "duration_ns": ..., "status": ...}`` —
+  one completed :class:`~repro.obs.registry.Span`;
+- a final ``{"type": "meta", ...}`` line recording how much the bounded
+  rings dropped, so a truncated export is never mistaken for a complete
+  one.
+
+Memory stays bounded end to end: both source rings are capped
+(``Tracer.max_records``, ``MetricsRegistry.max_spans``) and the writer
+streams line by line — nothing is accumulated.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from ..sim.trace import Tracer
+from .registry import MetricsRegistry
+
+__all__ = ["export_jsonl"]
+
+
+def export_jsonl(path: str, tracer: Optional[Tracer] = None,
+                 registry: Optional[MetricsRegistry] = None) -> int:
+    """Write trace records and completed spans to ``path``; returns the
+    number of data lines written (excluding the trailing meta line)."""
+    lines = 0
+    with open(path, "w") as fh:
+        if tracer is not None:
+            for rec in tracer.records:
+                d = rec.as_dict()
+                d["type"] = "trace"
+                fh.write(json.dumps(d, sort_keys=True))
+                fh.write("\n")
+                lines += 1
+        if registry is not None:
+            for span in registry.spans:
+                d = span.as_dict()
+                d["type"] = "span"
+                fh.write(json.dumps(d, sort_keys=True))
+                fh.write("\n")
+                lines += 1
+        meta = {
+            "type": "meta",
+            "lines": lines,
+            "trace_dropped": tracer.dropped if tracer is not None else 0,
+            "spans_dropped": (registry.spans_dropped
+                              if registry is not None else 0),
+        }
+        fh.write(json.dumps(meta, sort_keys=True))
+        fh.write("\n")
+    return lines

@@ -1,0 +1,299 @@
+"""Hierarchical metrics registry with per-rank scoping.
+
+This is the observability core the rest of the stack hangs off
+(``photon_get_dev_stats`` analogue, grown into a real subsystem):
+
+- **Counters** are written through :class:`ScopedCounters` views — one per
+  rank plus one ``fabric`` scope for hardware shared between ranks (links,
+  switches).  Every ``add`` lands in the scope *and* is mirrored into the
+  cluster-wide :class:`~repro.sim.trace.Counters` aggregate, so the
+  aggregate stays bit-identical to the historical shared-``Counters``
+  behaviour (the golden-trace suite hashes it) while per-rank attribution
+  becomes possible for the first time.  The invariant
+  ``sum(scopes) == aggregate`` holds whenever all writers go through
+  scopes; :meth:`MetricsRegistry.attribution_gaps` reports any names
+  written directly into the aggregate.
+- **Gauges** are last-value-wins per scope (queue depths, occupancy).
+- **Histograms** are fixed-bucket (power-of-two upper bounds), so memory
+  is bounded no matter how many values are observed.
+- **Spans** are start/end op records keyed to the *simulated* clock
+  (pwc/gwc/eager/rendezvous/retry), carrying peer and byte counts.  They
+  are pure host-side bookkeeping: recording a span never advances the
+  simulation, consumes RNG, or reorders events, so enabling them cannot
+  perturb golden traces.  Completed spans live in a bounded ring
+  (:attr:`MetricsRegistry.max_spans`, oldest dropped first) and feed both
+  the per-op latency histograms and the JSONL trace export.
+
+Everything here is disabled-cheap: with ``spans_enabled`` off (the
+default) ``scope.span(...)`` is one attribute load and a ``return None``,
+and ``observe``/``set_gauge`` are a dict update at most.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, Dict, List, Optional
+
+from ..sim.trace import Counters
+
+__all__ = ["MetricsRegistry", "ScopedCounters", "Histogram", "Span",
+           "FABRIC_SCOPE", "DEFAULT_SPAN_CAP"]
+
+#: scope label for non-rank-attributable hardware (links, switch ports)
+FABRIC_SCOPE = "fabric"
+
+#: default completed-span ring capacity (bounded memory for long runs)
+DEFAULT_SPAN_CAP = 65_536
+
+#: histogram bucket upper bounds: powers of two, 64 ns .. ~1.1 s, plus +inf
+_BUCKET_BOUNDS = tuple(1 << k for k in range(6, 31))
+
+
+class Histogram:
+    """Fixed-bucket histogram (power-of-two upper bounds, ns-oriented)."""
+
+    __slots__ = ("counts", "count", "sum", "min", "max")
+
+    def __init__(self):
+        self.counts = [0] * (len(_BUCKET_BOUNDS) + 1)  # +1 = overflow
+        self.count = 0
+        self.sum = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        v = int(value)
+        # bucket index via bit_length: first bound >= v (bounds start at 2^6)
+        idx = max(0, (v - 1).bit_length() - 6) if v > 0 else 0
+        if idx > len(_BUCKET_BOUNDS):
+            idx = len(_BUCKET_BOUNDS)
+        self.counts[idx] += 1
+        self.count += 1
+        self.sum += v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Approximate quantile: the upper bound of the bucket holding the
+        q-th observation (exact raw values come from span records)."""
+        if not self.count:
+            return None
+        target = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= target:
+                return float(_BUCKET_BOUNDS[i]) if i < len(_BUCKET_BOUNDS) \
+                    else float(self.max)
+        return float(self.max)  # pragma: no cover - defensive
+
+    def snapshot(self) -> Dict[str, object]:
+        buckets = {str(_BUCKET_BOUNDS[i]): n
+                   for i, n in enumerate(self.counts[:-1]) if n}
+        if self.counts[-1]:
+            buckets["+inf"] = self.counts[-1]
+        return {"count": self.count, "sum": self.sum,
+                "min": self.min, "max": self.max, "buckets": buckets}
+
+
+class Span:
+    """One timed operation (open until :meth:`end` is called)."""
+
+    __slots__ = ("name", "scope", "peer", "nbytes", "t_start", "t_end",
+                 "status", "extra")
+
+    def __init__(self, name: str, scope: "ScopedCounters", t_start: int,
+                 peer: Optional[int], nbytes: int):
+        self.name = name
+        self.scope = scope
+        self.peer = peer
+        self.nbytes = nbytes
+        self.t_start = t_start
+        self.t_end: Optional[int] = None
+        self.status = "open"
+        self.extra: Optional[Dict[str, object]] = None
+
+    @property
+    def duration_ns(self) -> Optional[int]:
+        return None if self.t_end is None else self.t_end - self.t_start
+
+    def end(self, t_end: int, status: str = "ok", **extra: object) -> None:
+        """Close the span (idempotent; the first close wins)."""
+        if self.t_end is not None:
+            return
+        self.t_end = t_end
+        self.status = status
+        if extra:
+            self.extra = extra
+        self.scope._close_span(self)
+
+    def as_dict(self) -> Dict[str, object]:
+        d = {"span": self.name, "rank": self.scope.label, "peer": self.peer,
+             "bytes": self.nbytes, "t_start": self.t_start,
+             "t_end": self.t_end, "duration_ns": self.duration_ns,
+             "status": self.status}
+        if self.extra:
+            d.update(self.extra)
+        return d
+
+
+class ScopedCounters(Counters):
+    """Per-scope counter view that mirrors every write into the aggregate.
+
+    API-compatible with :class:`~repro.sim.trace.Counters` (components
+    take either), plus live gauge/histogram/span recording.
+    """
+
+    def __init__(self, registry: "MetricsRegistry", label: object):
+        super().__init__(values=Counter())
+        self.registry = registry
+        #: rank number, or :data:`FABRIC_SCOPE`
+        self.label = label
+        self._agg = registry.aggregate.values
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------- counters
+    def add(self, name: str, amount: int = 1) -> None:
+        self.values[name] += amount
+        self._agg[name] += amount
+
+    def set_max(self, name: str, value: int) -> None:
+        self.registry._max_names.add(name)
+        if value > self.values.get(name, 0):
+            self.values[name] = value
+        if value > self._agg.get(name, 0):
+            self._agg[name] = value
+
+    def clear(self) -> None:
+        """Clear this scope, subtracting its contribution from the
+        aggregate so the mirror invariant survives."""
+        self._agg.subtract(self.values)
+        for name in [n for n, v in self._agg.items() if v == 0]:
+            del self._agg[name]
+        self.values.clear()
+
+    # ------------------------------------------------------------- gauges
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    # ------------------------------------------------------------- histograms
+    def observe(self, name: str, value: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    # ------------------------------------------------------------- spans
+    def span(self, name: str, t_start: int, peer: Optional[int] = None,
+             nbytes: int = 0) -> Optional[Span]:
+        """Open a span, or return None when span recording is disabled."""
+        if not self.registry.spans_enabled:
+            return None
+        return Span(name, self, t_start, peer, nbytes)
+
+    def _close_span(self, span: Span) -> None:
+        self.observe(f"{span.name}.latency_ns", span.duration_ns)
+        self.registry._record_span(span)
+
+    # ------------------------------------------------------------- snapshots
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """JSON-serializable view of this scope's metrics."""
+        return {
+            "counters": dict(self.values),
+            "gauges": dict(self.gauges),
+            "histograms": {name: h.snapshot()
+                           for name, h in sorted(self.histograms.items())},
+        }
+
+
+class MetricsRegistry:
+    """One registry per cluster: rank scopes, a fabric scope, the mirror
+    aggregate, and the bounded completed-span ring."""
+
+    def __init__(self, n_ranks: int, spans_enabled: bool = False,
+                 max_spans: int = DEFAULT_SPAN_CAP,
+                 aggregate: Optional[Counters] = None):
+        if n_ranks < 1:
+            raise ValueError("registry needs at least one rank")
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self.n_ranks = n_ranks
+        self.spans_enabled = spans_enabled
+        self.max_spans = max_spans
+        #: the cluster-wide aggregate every scope mirrors into; identical
+        #: names and values to the historical shared-``Counters`` object
+        self.aggregate = aggregate if aggregate is not None else Counters()
+        self.ranks: List[ScopedCounters] = [
+            ScopedCounters(self, r) for r in range(n_ranks)]
+        self.fabric = ScopedCounters(self, FABRIC_SCOPE)
+        self.spans: Deque[Span] = deque()
+        #: completed spans evicted from the full ring (oldest-first)
+        self.spans_dropped = 0
+        #: names with high-water-mark (max) semantics: the aggregate is the
+        #: max over scopes, not the sum, so the sum invariant skips them
+        self._max_names: set = set()
+
+    # ------------------------------------------------------------- scopes
+    def scope(self, rank: Optional[int] = None) -> ScopedCounters:
+        """The counter scope for ``rank`` (None → the fabric scope)."""
+        return self.fabric if rank is None else self.ranks[rank]
+
+    def _scopes(self) -> List[ScopedCounters]:
+        return self.ranks + [self.fabric]
+
+    # ------------------------------------------------------------- spans
+    def enable_spans(self) -> None:
+        self.spans_enabled = True
+
+    def _record_span(self, span: Span) -> None:
+        if len(self.spans) >= self.max_spans:
+            self.spans.popleft()
+            self.spans_dropped += 1
+        self.spans.append(span)
+
+    def span_durations(self, name: Optional[str] = None,
+                       rank: Optional[int] = None) -> List[int]:
+        """Raw durations of completed spans, filtered by name/rank — feed
+        these to :func:`repro.util.stats.percentile` for exact latency
+        percentiles."""
+        return [s.duration_ns for s in self.spans
+                if (name is None or s.name == name)
+                and (rank is None or s.scope.label == rank)]
+
+    # ------------------------------------------------------------- invariants
+    def per_rank_totals(self) -> Counter:
+        """Sum of all scopes (ranks + fabric) — equals the aggregate when
+        every writer goes through a scope (``set_max`` names excluded:
+        their aggregate is the max over scopes, not the sum)."""
+        total: Counter = Counter()
+        for scope in self._scopes():
+            total.update(scope.values)
+        for name in self._max_names:
+            total.pop(name, None)
+        return total
+
+    def attribution_gaps(self) -> Dict[str, int]:
+        """Counter names (and amounts) present in the aggregate but not
+        covered by any scope — i.e. written directly into the aggregate."""
+        totals = self.per_rank_totals()
+        return {name: value - totals.get(name, 0)
+                for name, value in sorted(self.aggregate.values.items())
+                if name not in self._max_names
+                and value != totals.get(name, 0)}
+
+    # ------------------------------------------------------------- snapshots
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-serializable registry-wide snapshot."""
+        return {
+            "aggregate": self.aggregate.snapshot(),
+            "ranks": {str(s.label): s.metrics_snapshot()
+                      for s in self.ranks},
+            "fabric": self.fabric.metrics_snapshot(),
+            "spans": {"recorded": len(self.spans),
+                      "dropped": self.spans_dropped,
+                      "enabled": self.spans_enabled},
+            "attribution_gaps": self.attribution_gaps(),
+        }

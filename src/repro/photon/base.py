@@ -99,6 +99,8 @@ class ReliableOp:
     state: str = "pending"  # pending | backoff | done | failed
     deadline: int = 0
     next_retry_at: int = 0
+    #: open op-latency span (None when span recording is disabled)
+    span: Optional[object] = None
 
     @property
     def key(self) -> Tuple[int, int]:
@@ -136,7 +138,8 @@ class PhotonBase:
         self.env: Environment = cluster.env
         self.context = node.context
         self.memory = node.memory
-        self.counters = cluster.counters
+        # this rank's counter scope: writes mirror into cluster.counters
+        self.counters = cluster.scope(node.rank)
         self.pd: ProtectionDomain = self.context.alloc_pd()
         qp_total = cluster.n * (2 * config.max_outstanding + 64)
         self.send_cq: CompletionQueue = self.context.create_cq(
@@ -434,6 +437,8 @@ class PhotonBase:
         op.state = "done"
         self._reliable.pop(op.key, None)
         self._release_op_mrs(op)
+        if op.span is not None:
+            op.span.end(self.env.now, retries=op.attempts - 1)
         self._op_results[op.key] = WCStatus.SUCCESS
         if op.local_cid is not None:
             self.local_cids.append((op.local_cid, WCStatus.SUCCESS))
@@ -449,6 +454,9 @@ class PhotonBase:
             op.state = "failed"
             self._reliable.pop(op.key, None)
             self._release_op_mrs(op)
+            if op.span is not None:
+                op.span.end(self.env.now, status="failed",
+                            retries=op.attempts - 1)
             self._op_results[op.key] = WCStatus.RETRY_EXC_ERR
             self.counters.add("photon.op_failures")
             if op.local_cid is not None:
@@ -618,7 +626,12 @@ class PhotonBase:
                 yield from self._send_credit(peer, name)
 
     def stats(self) -> Dict[str, object]:
-        """Endpoint telemetry snapshot (photon_get_dev_stats analogue)."""
+        """Endpoint telemetry snapshot (photon_get_dev_stats analogue).
+
+        Every key and value is JSON-serializable — ``json.dumps(stats())``
+        must always succeed (ledger credits are nested string-keyed dicts,
+        not tuple-keyed).
+        """
         return {
             "rank": self.rank,
             "pending_requests": self.requests.pending,
@@ -628,32 +641,21 @@ class PhotonBase:
             "queued_messages": len(self.messages),
             "queued_infos": len(self.infos),
             "outstanding_by_peer": {
-                r: p.outstanding for r, p in self.peers.items()},
-            "rcache": {
-                "hits": self.rcache.hits,
-                "misses": self.rcache.misses,
-                "evictions": self.rcache.evictions,
-                "deferred_evictions": self.rcache.deferred_evictions,
-                "invalid_prunes": self.rcache.invalid_prunes,
-                "merges": self.rcache.merges,
-                "hit_rate": self.rcache.hit_rate,
-                "size": self.rcache.size,
-                "pending_evictions": self.rcache.pending_evictions,
-                "held_refs": self.rcache.held_refs,
-                "pinned_bytes": self.rcache.pinned_bytes,
-                "pinned_bytes_peak": self.rcache.pinned_bytes_peak,
-            },
+                str(r): p.outstanding for r, p in self.peers.items()},
+            "rcache": self.rcache.occupancy(),
             "ledger_credits": {
-                (peer.rank, name): ring.available()
-                for peer in self.peers.values()
-                for name, ring in peer.remote.items()},
+                str(peer.rank): {name: ring.available()
+                                 for name, ring in peer.remote.items()}
+                for peer in self.peers.values()},
         }
 
     def telemetry(self) -> Dict[str, object]:
         """Fault-domain telemetry: retry/recovery counters + in-flight ops.
 
-        Counters are cluster-global (every rank shares the clusterwide
-        counter set); ``reliable_ops_inflight`` is rank-local.
+        Counters are read from this rank's scope, so every value is
+        genuinely per-rank (cluster-wide totals live in
+        ``cluster.counters`` / ``cluster.metrics.aggregate``).
+        ``reliable_ops_inflight`` is rank-local state, not a counter.
         """
         c = self.counters
         return {

@@ -68,6 +68,8 @@ class MessagingMixin:
             raise SimulationError("tags must be non-negative")
         req = self.requests.create(RequestKind.SEND_RDMA, dst, size, tag,
                                    self.env.now)
+        req.span = self.counters.span("photon.rndv_send", self.env.now,
+                                      peer=dst, nbytes=size)
         if dst == self.rank:
             # payload snapshot taken now, so the send completes immediately
             data = self.memory.read_bytes(local_addr, size)
@@ -130,6 +132,8 @@ class MessagingMixin:
         so a fetch the fabric gave up on is simply reposted (up to
         ``max_op_retries`` extra attempts) before raising.
         """
+        span = self.counters.span("photon.rndv_recv", self.env.now,
+                                  peer=info.src, nbytes=info.size)
         for _attempt in range(self.config.max_op_retries + 1):
             rid = yield from self.post_os_get(info.src, local_addr, info.size,
                                               info.addr, info.rkey)
@@ -140,6 +144,8 @@ class MessagingMixin:
                 break
             self.counters.add("photon.rendezvous_refetches")
         else:
+            if span is not None:
+                span.end(self.env.now, status="failed")
             raise SimulationError(
                 f"rank {self.rank}: rendezvous fetch from {info.src} failed "
                 f"after {self.config.max_op_retries + 1} attempts")
@@ -147,6 +153,8 @@ class MessagingMixin:
         yield from self._post_ring_entry(
             peer, "fin",
             lambda seq: FinEntry(seq=seq, req=info.req).pack())
+        if span is not None:
+            span.end(self.env.now, retries=_attempt)
         self.counters.add("photon.rendezvous_recvs")
         return info.size
 

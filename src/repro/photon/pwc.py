@@ -64,6 +64,8 @@ class PwcMixin:
             raise SimulationError(
                 f"immediate-mode remote cid {remote_cid} must fit 32 bits")
         op = self._new_reliable_op(peer, "put", local_cid)
+        op.span = self.counters.span("photon.pwc_put", self.env.now,
+                                     peer=dst, nbytes=size)
         if mr is not None:
             op.mrs.append(mr)
 
@@ -122,6 +124,8 @@ class PwcMixin:
         peer = self._peer(dst)
         mr = yield from self.rcache.acquire(local_addr, size)
         op = self._new_reliable_op(peer, "get", local_cid)
+        op.span = self.counters.span("photon.pwc_get", self.env.now,
+                                     peer=dst, nbytes=size)
         op.mrs.append(mr)
         if remote_cid is not None:
             notify = remote_cid
@@ -181,6 +185,8 @@ class PwcMixin:
         peer = self._peer(dst)
         payload = bytes(data)
         op = self._new_reliable_op(peer, "send", local_cid)
+        op.span = self.counters.span("photon.pwc_send", self.env.now,
+                                     peer=dst, nbytes=len(payload))
 
         def replay(op):
             on_ack, on_error = self._op_cbs(op, op.attempts)

@@ -116,12 +116,10 @@ class RegistrationCache:
         self.pinned_bytes += delta
         if self.pinned_bytes > self.pinned_bytes_peak:
             self.pinned_bytes_peak = self.pinned_bytes
-            # counters are plain accumulators; mirror the peak by assignment
-            peak = self.counters.values.get("photon.rcache.pinned_bytes_peak",
-                                            0)
-            if self.pinned_bytes_peak > peak:
-                self.counters.values["photon.rcache.pinned_bytes_peak"] = \
-                    self.pinned_bytes_peak
+            # high-water mark: set_max (not add) mirrors into the scope and
+            # the cluster aggregate without direct values[] assignment
+            self.counters.set_max("photon.rcache.pinned_bytes_peak",
+                                  self.pinned_bytes_peak)
 
     # ------------------------------------------------------------------ index
     def _defer(self, entry: CacheEntry) -> None:
@@ -496,6 +494,25 @@ class RegistrationCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def occupancy(self) -> Dict[str, object]:
+        """JSON-serializable cache-occupancy/effectiveness snapshot (the
+        ``rcache`` section of ``Endpoint.stats()`` and obs reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "deferred_evictions": self.deferred_evictions,
+            "invalid_prunes": self.invalid_prunes,
+            "merges": self.merges,
+            "hit_rate": self.hit_rate,
+            "size": self.size,
+            "pending_evictions": self.pending_evictions,
+            "held_refs": self.held_refs,
+            "live_regs": self.live_regs,
+            "pinned_bytes": self.pinned_bytes,
+            "pinned_bytes_peak": self.pinned_bytes_peak,
+        }
 
 
 def assert_reg_balance(counters, contexts) -> None:

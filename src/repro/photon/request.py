@@ -35,7 +35,7 @@ class PhotonRequest:
     """One in-flight operation."""
 
     __slots__ = ("rid", "kind", "peer", "size", "tag", "state", "t_posted",
-                 "t_completed", "on_settle")
+                 "t_completed", "on_settle", "span")
 
     def __init__(self, rid: int, kind: RequestKind, peer: int, size: int,
                  tag: int, t_posted: int):
@@ -50,6 +50,8 @@ class PhotonRequest:
         #: fired exactly once when the request turns terminal (completed
         #: or failed) — resource cleanup hook (rcache release)
         self.on_settle = None
+        #: open op-latency span (None when span recording is disabled)
+        self.span = None
 
     @property
     def completed(self) -> bool:
@@ -107,6 +109,8 @@ class RequestTable:
             raise SimulationError(f"request {rid} completed twice")
         req.state = RequestState.COMPLETED
         req.t_completed = now
+        if req.span is not None:
+            req.span.end(now)
         self._settle(req)
         return req
 
@@ -119,6 +123,8 @@ class RequestTable:
         if req.state is RequestState.PENDING:
             req.state = RequestState.FAILED
             req.t_completed = now
+            if req.span is not None:
+                req.span.end(now, status="failed")
             self._settle(req)
         return req
 

@@ -48,5 +48,5 @@ def build_runtime(cluster, registry, transport="photon", photon=None,
         else:
             raise SimulationError(f"unknown transport {transport!r}")
         runtimes.append(Runtime(r, cluster.env, tp, registry,
-                                counters=cluster.counters))
+                                counters=cluster.scope(r)))
     return runtimes

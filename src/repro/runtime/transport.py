@@ -255,6 +255,21 @@ class PhotonTransport:
         yield from self.ph._post_ring_entry(
             peer, "fin", lambda seq: FinEntry(seq=seq, req=info.req).pack())
 
+    def stats(self) -> Dict[str, object]:
+        """JSON-serializable transport snapshot (obs report section)."""
+        return {
+            "kind": "photon",
+            "eager_inflight": len(self._eager_ops),
+            "fetches_inflight": len(self._fetches),
+            "free_landings": len(self._free_landings),
+            "send_slots_busy": sum(1 for r in self._slot_rids
+                                   if r is not None),
+            "peers": {
+                str(r): {"state": h.state, "failures": h.failures,
+                         "open_until": h.open_until}
+                for r, h in self._health.items()},
+        }
+
 
 class MpiTransport:
     """Parcels over minimpi isend + a preposted wildcard-irecv window."""
@@ -324,3 +339,12 @@ class MpiTransport:
                 self._recv_reqs[i] = new_req
                 return raw
         return None
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-serializable transport snapshot (obs report section)."""
+        return {
+            "kind": "mpi",
+            "window": self.window,
+            "window_armed": sum(1 for r in self._recv_reqs if r is not None),
+            "sends_inflight": len(self._inflight),
+        }

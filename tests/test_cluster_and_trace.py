@@ -61,7 +61,7 @@ def test_cluster_seed_controls_rng():
 def test_tracer_disabled_is_noop():
     t = Tracer(enabled=False)
     t.log(10, "nic.tx", size=4)
-    assert t.records == []
+    assert list(t.records) == []
 
 
 def test_tracer_records_and_selects():
@@ -74,7 +74,20 @@ def test_tracer_records_and_selects():
     rec = t.select("nic.rx")[0]
     assert rec.as_dict() == {"time": 20, "category": "nic.rx", "size": 8}
     t.clear()
-    assert t.records == []
+    assert list(t.records) == []
+
+
+def test_tracer_ring_cap_drops_oldest():
+    t = Tracer(enabled=True, max_records=3)
+    for i in range(5):
+        t.log(i, "nic.tx", seq=i)
+    assert len(t.records) == 3
+    assert t.dropped == 2
+    assert [r.time for r in t.records] == [2, 3, 4]
+    t.clear()
+    assert t.dropped == 0
+    with pytest.raises(ValueError):
+        Tracer(max_records=0)
 
 
 def test_tracer_category_filter():

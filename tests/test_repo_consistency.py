@@ -2,11 +2,14 @@
 
 Keeps the deliverables honest: every registered experiment has a
 benchmark target, is indexed in DESIGN.md, and has a measured table in
-EXPERIMENTS.md.
+EXPERIMENTS.md — and no build artifact is ever committed.
 """
 
 import os
 import re
+import subprocess
+
+import pytest
 
 from repro.bench.experiments import ALL
 
@@ -60,6 +63,25 @@ def test_examples_listed_in_readme_exist():
     readme = open("README.md").read()
     for match in re.findall(r"`(examples/[\w_]+\.py)`", readme):
         assert os.path.exists(match), match
+
+
+def test_no_tracked_bytecode_artifacts():
+    """Byte-code must never be committed: ``__pycache__`` directories,
+    ``*.pyc``/``*.pyo`` files and pytest caches are build products (80 of
+    them slipped into the tree once), and the root .gitignore must keep
+    covering them."""
+    try:
+        out = subprocess.run(["git", "ls-files"], capture_output=True,
+                             text=True, check=True, timeout=30).stdout
+    except (OSError, subprocess.SubprocessError):
+        pytest.skip("not a git checkout")
+    bad = [line for line in out.splitlines()
+           if "__pycache__" in line or ".pytest_cache" in line
+           or line.endswith((".pyc", ".pyo"))]
+    assert not bad, f"tracked byte-code artifacts: {bad[:10]}"
+    ignore = open(".gitignore").read()
+    for pattern in ("__pycache__/", "*.pyc", ".pytest_cache/"):
+        assert pattern in ignore, f".gitignore misses {pattern}"
 
 
 def test_all_examples_are_documented():
