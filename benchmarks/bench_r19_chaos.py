@@ -1,0 +1,17 @@
+"""Benchmark R19 — crash/detection/recovery chaos scenario (DESIGN.md §4).
+
+Runs the reconstructed experiment in quick mode under pytest-benchmark
+and asserts its qualitative shape checks (detection latency, dead-peer
+fast-fail, bounded recovery, safety invariants).
+"""
+
+from repro.bench.experiments import r19_chaos
+
+
+def test_r19_chaos(benchmark):
+    result = benchmark.pedantic(r19_chaos.run, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.all_checks_pass, \
+        f"shape checks failed: {result.failed_checks()}"

@@ -24,6 +24,7 @@ from . import (
     r16_samplesort,
     r17_faults,
     r18_walltime,
+    r19_chaos,
 )
 
 ALL = {
@@ -45,6 +46,7 @@ ALL = {
     "r16": r16_samplesort,
     "r17": r17_faults,
     "r18": r18_walltime,
+    "r19": r19_chaos,
 }
 
 __all__ = ["ALL"] + [f"r{i}_{n}" for i, n in []]

@@ -1,0 +1,49 @@
+"""``python -m repro.chaos`` — the chaos-smoke entry point.
+
+Runs the canned R19 crash/restart scenario with a fixed schedule and
+seed, checks every safety invariant, exports the chaos-annotated trace
+(chaos.*, health.*, photon/fabric records and all spans) as JSONL, and
+exits non-zero on any failed shape check or invariant — which is what
+the CI chaos-smoke job greps for.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..bench.experiments import r19_chaos
+from ..obs.export import export_jsonl
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Run the canned chaos scenario (R19) with invariant "
+                    "checking and JSONL trace export.")
+    parser.add_argument("--full", action="store_true",
+                        help="full message counts (default: quick)")
+    parser.add_argument("--out", default="chaos_trace.jsonl",
+                        help="JSONL trace output path (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    raw = r19_chaos.run_scenario(quick=not args.full)
+    result = r19_chaos.run(quick=not args.full, scenario=raw)
+    print(result.render())
+
+    cl = raw["cluster"]
+    lines = export_jsonl(args.out, tracer=cl.tracer, registry=cl.metrics)
+    chaos_lines = sum(1 for rec in cl.tracer.records
+                      if rec.category.startswith("chaos."))
+    print(f"exported {lines} trace/span lines to {args.out} "
+          f"({chaos_lines} chaos events)")
+
+    if not result.all_checks_pass:
+        print(f"FAILED checks: {result.failed_checks()}", file=sys.stderr)
+        return 1
+    print("chaos smoke: all checks and invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

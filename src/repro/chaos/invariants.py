@@ -1,0 +1,123 @@
+"""Invariant checkers for chaos runs.
+
+Chaos experiments are only trustworthy if the system's safety properties
+hold *through* the faults, not just at the end.  These checkers encode
+the four properties the fault model promises (see DESIGN.md):
+
+- **No duplicate delivery** — the reliability layer replays operations,
+  but target-side dedup must collapse replays to exactly-once effects.
+- **Registration balance** — crash/restart must not leak memory
+  registrations: every ``reg_mr`` is matched by a ``dereg_mr`` or a
+  still-live MR at a quiescent point.
+- **Breaker legality** — circuit breakers may only walk the legal state
+  machine (no closed→half-open, no half-open→half-open, ...).
+- **Membership monotonicity** — a membership view's version only moves
+  forward, and a DEAD rank only returns via a higher incarnation.
+
+All checkers raise :class:`InvariantViolation` (an ``AssertionError``
+subclass, so plain pytest asserts and CI greps both catch it).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Sequence, Tuple
+
+from ..photon.rcache import assert_reg_balance
+from ..runtime.health import ALIVE, DEAD
+
+__all__ = ["InvariantViolation", "check_no_duplicate_delivery",
+           "check_reg_balance", "check_breaker_legality",
+           "check_membership_monotonic", "check_all"]
+
+
+class InvariantViolation(AssertionError):
+    """A chaos-run safety property was violated."""
+
+
+#: the circuit breaker's legal state machine
+_LEGAL_BREAKER = {
+    ("closed", "open"),       # threshold trip / peer declared dead
+    ("open", "half-open"),    # cooldown elapsed, probe allowed
+    ("half-open", "open"),    # probe failed
+    ("half-open", "closed"),  # probe succeeded
+    ("open", "closed"),       # peer rejoined while open
+}
+
+
+def check_no_duplicate_delivery(delivered: Iterable) -> None:
+    """``delivered``: hashable delivery ids (e.g. ``(src, cid)`` pairs)
+    recorded by receivers.  Replay may retransmit, dedup must collapse."""
+    counts = Counter(delivered)
+    dups = {k: n for k, n in counts.items() if n > 1}
+    if dups:
+        raise InvariantViolation(
+            f"duplicate delivery despite replay dedup: {dups}")
+
+
+def check_reg_balance(cluster) -> None:
+    """Registration/deregistration balance across every rank's context
+    (crash drops pins, rejoin's cache flush must restore the books)."""
+    try:
+        assert_reg_balance(cluster.counters,
+                           [cluster[r].context for r in range(cluster.n)])
+    except AssertionError as exc:
+        raise InvariantViolation(str(exc)) from None
+
+
+def check_breaker_legality(
+        transitions: Sequence[Tuple[int, int, str, str]]) -> None:
+    """``transitions``: ``(t_ns, peer, old, new)`` tuples, e.g. a
+    transport's ``breaker_log``.  Validates each edge and that each
+    peer's chain is contiguous (new picks up where old left off)."""
+    last: Dict[int, str] = {}
+    for t, peer, old, new in transitions:
+        if (old, new) not in _LEGAL_BREAKER:
+            raise InvariantViolation(
+                f"illegal breaker transition {old!r} -> {new!r} "
+                f"for peer {peer} at t={t}")
+        prev = last.get(peer)
+        if prev is not None and prev != old:
+            raise InvariantViolation(
+                f"discontinuous breaker chain for peer {peer} at t={t}: "
+                f"was {prev!r}, transition claims {old!r}")
+        last[peer] = new
+
+
+def check_membership_monotonic(monitor) -> None:
+    """Versions strictly increase and DEAD→ALIVE requires an incarnation
+    bump (``monitor``: a :class:`~repro.runtime.health.HealthMonitor`,
+    or anything with a ``view`` carrying ``history``)."""
+    view = monitor.view
+    prev_version = 0
+    died_at_inc: Dict[int, int] = {}
+    for version, rank, old, new, incarnation in view.history:
+        if version <= prev_version:
+            raise InvariantViolation(
+                f"membership version went backwards: {prev_version} -> "
+                f"{version} (rank {rank}, {old} -> {new})")
+        prev_version = version
+        if new == DEAD:
+            died_at_inc[rank] = incarnation
+        elif old == DEAD and new == ALIVE:
+            at_death = died_at_inc.get(rank)
+            if at_death is not None and incarnation <= at_death:
+                raise InvariantViolation(
+                    f"rank {rank} returned from DEAD without an "
+                    f"incarnation bump ({at_death} -> {incarnation})")
+    if view.version != prev_version:
+        raise InvariantViolation(
+            f"view version {view.version} disagrees with history tail "
+            f"{prev_version}")
+
+
+def check_all(cluster, delivered: Iterable = (),
+              transports: Sequence = (),
+              monitors: Sequence = ()) -> None:
+    """Run every applicable checker; raises on the first violation."""
+    check_no_duplicate_delivery(delivered)
+    check_reg_balance(cluster)
+    for tp in transports:
+        check_breaker_legality(tp.breaker_log)
+    for mon in monitors:
+        check_membership_monotonic(mon)

@@ -20,7 +20,32 @@ from ..sim.trace import Counters
 from ..util.units import serialization_ns
 from .params import LinkParams
 
-__all__ = ["Chunk", "Link"]
+__all__ = ["Chunk", "Link", "LinkChaos"]
+
+
+class LinkChaos:
+    """Gray-failure state armed on a link by the chaos controller.
+
+    A link with chaos armed is still *alive* (unless ``up`` is False):
+    it serialises and propagates chunks, just worse — higher latency,
+    a fraction of its bandwidth, jittered propagation.  Each mode draws
+    from its own RNG stream (``rng``, used only for jitter), so arming
+    one mode never perturbs draws consumed by another link or mode.
+    """
+
+    __slots__ = ("up", "latency_add_ns", "bw_scale", "jitter_ns", "rng")
+
+    def __init__(self, up: bool = True, latency_add_ns: int = 0,
+                 bw_scale: float = 1.0, jitter_ns: int = 0, rng=None):
+        self.up = up
+        self.latency_add_ns = int(latency_add_ns)
+        self.bw_scale = float(bw_scale)
+        self.jitter_ns = int(jitter_ns)
+        self.rng = rng
+
+    def is_neutral(self) -> bool:
+        return (self.up and self.latency_add_ns == 0
+                and self.bw_scale == 1.0 and self.jitter_ns == 0)
 
 
 class Chunk:
@@ -66,6 +91,10 @@ class Link:
         #: deterministic fault stream (set by the topology when the link
         #: parameters specify a non-zero drop_rate)
         self.rng = rng
+        #: gray-failure state (None until a chaos controller arms it);
+        #: checked with a plain ``is not None`` so unarmed runs draw no
+        #: extra RNG values and take no extra simulated time
+        self.chaos: Optional[LinkChaos] = None
         self.inbox: Store = Store(env, capacity=queue_depth)
         #: called with the chunk when it exits this link *and* this link is
         #: the last hop of the chunk's path; set by the topology.
@@ -76,6 +105,11 @@ class Link:
         self._bytes = 0
         self._drops = 0
         env.process(self._server(), name=f"link:{name}")
+
+    def arm_chaos(self, chaos: Optional[LinkChaos]) -> None:
+        """Install (or clear, with ``None``) gray-failure state."""
+        self.chaos = None if chaos is not None and chaos.is_neutral() \
+            else chaos
 
     def occupancy_ns(self) -> int:
         """Total time this link spent serialising (utilisation numerator)."""
@@ -105,7 +139,16 @@ class Link:
         bw = self.params.bandwidth_gbps
         while True:
             chunk: Chunk = yield inbox_get()
-            ser = serialization_ns(chunk.wire_bytes, bw)
+            chaos = self.chaos
+            if chaos is not None:
+                if not chaos.up:
+                    self._drops += 1
+                    counters.add("link.chaos_drops")
+                    continue
+                ser = serialization_ns(chunk.wire_bytes,
+                                       bw * chaos.bw_scale)
+            else:
+                ser = serialization_ns(chunk.wire_bytes, bw)
             self._busy_ns += ser
             self._chunks += 1
             self._bytes += chunk.wire_bytes
@@ -119,7 +162,15 @@ class Link:
         env = self.env
         while True:
             chunk: Chunk = yield self.inbox.get()
-            ser = serialization_ns(chunk.wire_bytes, self.params.bandwidth_gbps)
+            bw = self.params.bandwidth_gbps
+            chaos = self.chaos
+            if chaos is not None:
+                if not chaos.up:
+                    self._drops += 1
+                    self.counters.add("link.chaos_drops")
+                    continue
+                bw *= chaos.bw_scale
+            ser = serialization_ns(chunk.wire_bytes, bw)
             if self.params.drop_rate > 0.0:
                 if self.params.loss_mode == "lossy":
                     # genuine loss: the chunk still occupies the wire for
@@ -151,7 +202,13 @@ class Link:
             env.process(self._propagate(chunk), name=f"prop:{self.name}")
 
     def _propagate(self, chunk: Chunk):
-        yield self.env.timeout(self.latency_ns)
+        delay = self.latency_ns
+        chaos = self.chaos
+        if chaos is not None:
+            delay += chaos.latency_add_ns
+            if chaos.jitter_ns and chaos.rng is not None:
+                delay += int(chaos.rng.integers(0, chaos.jitter_ns))
+        yield self.env.timeout(delay)
         chunk.hop += 1
         if chunk.hop < len(chunk.path):
             nxt = chunk.path[chunk.hop]

@@ -80,6 +80,14 @@ class Memory:
     def bytes_allocated(self) -> int:
         return self._brk
 
+    def reset(self) -> None:
+        """Crash semantics: contents and pins are lost; the allocation map
+        survives (a restarted rank re-arms its structures in place, as if
+        the same binary re-ran the same allocation sequence)."""
+        if self._brk:
+            self._mm[:self._brk] = b"\x00" * self._brk
+        self._pinned_pages.clear()
+
     # -- access ---------------------------------------------------------------
     def _check(self, addr: int, length: int) -> None:
         if length < 0:

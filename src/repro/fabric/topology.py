@@ -14,7 +14,7 @@ Provided shapes:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..sim.core import Environment, SimulationError
 from ..sim.trace import Counters
@@ -37,6 +37,10 @@ class Topology:
         self.counters = counters
         self.rng = rng
         self._sinks: Dict[int, Callable[[Chunk], None]] = {}
+        #: active partition cut: ordered (src, dst) pairs whose traffic is
+        #: discarded at delivery.  Empty on every un-chaosed run, so the
+        #: ``if self._cut`` guard in :meth:`deliver` is trace-neutral.
+        self._cut: Set[Tuple[int, int]] = set()
 
     def _link_rng(self, name: str):
         """Per-link fault stream (only materialised on lossy fabrics)."""
@@ -50,15 +54,62 @@ class Topology:
         self._sinks[rank] = sink
 
     def deliver(self, rank: int, chunk: Chunk) -> None:
+        if self._cut and (chunk.msg.src, rank) in self._cut:
+            self.counters.add("fabric.partition_drops")
+            return
         sink = self._sinks.get(rank)
         if sink is None:
             raise SimulationError(f"no NIC attached at rank {rank}")
         sink(chunk)
 
+    # -- partitions -------------------------------------------------------------
+    def partition(self, group_a: Iterable[int],
+                  group_b: Iterable[int]) -> None:
+        """Cut all traffic between ``group_a`` and ``group_b``, both ways.
+
+        The cut acts at the delivery point (the last hop into the
+        destination NIC), so in-flight chunks that reach a cut rank after
+        the partition starts are also discarded — a partition severs the
+        fabric, it does not merely stop new injections.
+        """
+        a, b = list(group_a), list(group_b)
+        for src in a:
+            for dst in b:
+                if src != dst:
+                    self._cut.add((src, dst))
+                    self._cut.add((dst, src))
+        self.counters.add("fabric.partition_events")
+
+    def heal(self, group_a: Optional[Iterable[int]] = None,
+             group_b: Optional[Iterable[int]] = None) -> None:
+        """Remove a cut (or, with no arguments, every cut)."""
+        if group_a is None or group_b is None:
+            if self._cut:
+                self._cut.clear()
+                self.counters.add("fabric.heal_events")
+            return
+        a, b = list(group_a), list(group_b)
+        for src in a:
+            for dst in b:
+                self._cut.discard((src, dst))
+                self._cut.discard((dst, src))
+        self.counters.add("fabric.heal_events")
+
+    def reachable(self, src: int, dst: int) -> bool:
+        """False while a partition cuts the ordered pair ``src -> dst``."""
+        return not self._cut or (src, dst) not in self._cut
+
     # -- observability ----------------------------------------------------------
     def iter_links(self) -> List[Link]:
         """Every link this topology owns (for per-link stats reporting)."""
         raise NotImplementedError
+
+    def link(self, name: str) -> Link:
+        """Look up a link by name (chaos targets links by name)."""
+        for lk in self.iter_links():
+            if lk.name == name:
+                return lk
+        raise SimulationError(f"no link named {name!r}")
 
     # -- routing ----------------------------------------------------------------
     def path(self, src: int, dst: int) -> List[Link]:

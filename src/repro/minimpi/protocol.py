@@ -48,13 +48,15 @@ KIND_FIN = 3
 class MPIRequest:
     """Handle for a non-blocking operation."""
 
-    __slots__ = ("rid", "kind", "done", "status", "t_posted", "t_completed",
-                 "error", "on_settle", "span")
+    __slots__ = ("rid", "kind", "peer", "done", "status", "t_posted",
+                 "t_completed", "error", "on_settle", "span")
     _ids = itertools.count(1)
 
     def __init__(self, kind: str, now: int):
         self.rid = next(MPIRequest._ids)
         self.kind = kind
+        #: destination (sends) or expected source (receives); -1 wildcard
+        self.peer = -1
         self.done = False
         self.status = Status()
         self.t_posted = now
@@ -144,8 +146,35 @@ class Engine:
         self._wr_seq = itertools.count(1)
         self.slot_size = HDR.size + config.eager_threshold
         self._bounce_mr = None
+        #: failure-detector handle (None unless attach_health was called)
+        self.health = None
         # deferred self-messages (no wire)
         self._self_queue: Deque[Tuple[int, bytes]] = deque()
+
+    # ------------------------------------------------------------- health
+    def attach_health(self, monitor) -> None:
+        """Consume a failure detector: pending requests against a peer
+        declared dead settle immediately with ``error="peer_dead"``
+        instead of burning their full resend budget, and new requests
+        toward a dead peer fail fast at post time."""
+        self.health = monitor
+        monitor.on_dead(self._fail_dead_peer)
+
+    def _fail_dead_peer(self, rank: int) -> None:
+        now = self.env.now
+        failed = 0
+        for req in list(self.live_requests.values()):
+            if req.done or req.peer != rank:
+                continue
+            req.fail(now, error="peer_dead")
+            failed += 1
+        if failed:
+            self.counters.add("mpi.dead_peer_fails", failed)
+        # flush pending WRs so their SQ slots don't leak against a peer
+        # that will never ack (reliable fabrics never error them)
+        ch = self.peers.get(rank)
+        if ch is not None and ch.qp.state is QPState.READY:
+            ch.qp.teardown()
 
     # ------------------------------------------------------------- bootstrap
     def _alloc_bounce(self) -> None:
@@ -184,12 +213,19 @@ class Engine:
         if size < 0 or tag < 0:
             raise SimulationError("isend needs size >= 0 and tag >= 0")
         req = MPIRequest("send", self.env.now)
+        req.peer = dst
         name = ("mpi.eager_send" if size <= self.config.eager_threshold
                 else "mpi.rndv_send")
         req.span = self.counters.span(name, self.env.now, peer=dst,
                                       nbytes=size)
         self.live_requests[req.rid] = req
         self.counters.add("mpi.isends")
+        if (self.health is not None and dst != self.rank
+                and self.health.is_dead(dst)):
+            # fail fast: don't burn the resend budget on a confirmed corpse
+            self.counters.add("mpi.dead_peer_fails")
+            req.fail(self.env.now, error="peer_dead")
+            return req
         yield self.env.timeout(self.config.sw_overhead_ns)
         if dst == self.rank:
             # owned snapshot: a self-send may sit in the unexpected queue
@@ -317,10 +353,16 @@ class Engine:
     def irecv(self, addr: int, length: int, src: int, tag: int):
         """Non-blocking receive into simulated memory (generator → request)."""
         req = MPIRequest("recv", self.env.now)
+        req.peer = src
         req.span = self.counters.span("mpi.recv", self.env.now,
                                       peer=src, nbytes=length)
         self.live_requests[req.rid] = req
         self.counters.add("mpi.irecvs")
+        if (self.health is not None and src >= 0 and src != self.rank
+                and self.health.is_dead(src)):
+            self.counters.add("mpi.dead_peer_fails")
+            req.fail(self.env.now, error="peer_dead")
+            return req
         yield self.env.timeout(self.config.sw_overhead_ns)
         # check the unexpected queue first (standard MPI behaviour)
         msg = self.matcher.match_posted(src, tag)

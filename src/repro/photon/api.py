@@ -122,4 +122,9 @@ def photon_init(cluster: Cluster,
             qp_ab.connect(qp_ba)
             ep_a._wire_peer(ep_b, qp_ab)
             ep_b._wire_peer(ep_a, qp_ba)
+    # the out-of-band directory: rejoin re-reads peer rkeys through this
+    # (the crash-recovery analogue of the PMI exchange above)
+    mesh = {ep.rank: ep for ep in endpoints}
+    for ep in endpoints:
+        ep._mesh = mesh
     return endpoints

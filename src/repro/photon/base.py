@@ -163,6 +163,13 @@ class PhotonBase:
         self._op_results: Dict[Tuple[int, int], WCStatus] = {}
         self._in_deadline_scan = False
         self._retry_rng = cluster.rng.stream(f"photon.retry.{self.rank}")
+        #: False between a chaos crash and the matching rejoin
+        self.alive = True
+        #: failure-detector handle (None unless a health layer is attached)
+        self.health = None
+        #: rank -> endpoint, for bootstrap re-exchange at rejoin (models
+        #: the PMI re-exchange of rkeys; filled by photon_init)
+        self._mesh: Dict[int, "PhotonBase"] = {}
         self.local_cids: Deque[Tuple[int, WCStatus]] = deque()
         self.remote_cids: Deque[Tuple[int, int]] = deque()  # (cid, src)
         self.messages: Deque[Tuple[int, int, bytes]] = deque()  # (src, cid, data)
@@ -175,6 +182,8 @@ class PhotonBase:
         self._coll_epoch = 0
         # ledger region bookkeeping (filled by _alloc_ledgers)
         self._ledger_mr = None
+        self._ledger_base = 0
+        self._ledger_size = 0
         self._layout: Dict[Tuple[int, str, str], int] = {}
         self._specs = self._ring_specs()
 
@@ -214,6 +223,8 @@ class PhotonBase:
             for name in RING_NAMES:
                 self._layout[(peer, name, "credit_stage")] = cursor
                 cursor += 8
+        self._ledger_base = base
+        self._ledger_size = cursor - base
         self._ledger_mr = self.context.reg_mr_sync(
             self.pd, base, cursor - base, Access.ALL)
 
@@ -328,6 +339,13 @@ class PhotonBase:
         """
 
         def cb():
+            if self.health is not None and self.health.is_dead(peer.rank):
+                # the slot belongs to the dead incarnation's seq space;
+                # re-arm (not resend) is the recovery path
+                self.counters.add("photon.dead_peer_entry_drops")
+                if on_error is not None:
+                    on_error()
+                return
             if attempt >= self.config.entry_resend_limit:
                 self.counters.add("photon.entry_drops")
                 if on_error is not None:
@@ -366,6 +384,8 @@ class PhotonBase:
         def on_error():
             # a credit write carries an absolute value — resending the
             # current word is always safe and keeps the producer unblocked
+            if self.health is not None and self.health.is_dead(peer.rank):
+                return  # the re-arm resets credit state from scratch
             self.counters.add("photon.credit_resends")
             self.env.process(self._resend_credit(peer, ring_name),
                              name="photon:credit-resend")
@@ -384,6 +404,8 @@ class PhotonBase:
                     inline=self.config.use_inline and 8 <= nic.max_inline)
 
         def on_error():
+            if self.health is not None and self.health.is_dead(peer.rank):
+                return
             self.counters.add("photon.credit_resends")
             self.env.process(self._resend_credit(peer, ring_name),
                              name="photon:credit-resend")
@@ -421,6 +443,12 @@ class PhotonBase:
         return on_ack, on_error
 
     def _start_attempt(self, op: ReliableOp):
+        # fail fast against a confirmed-dead peer instead of burning the
+        # full deadline + retry budget (covers fresh posts and replays:
+        # this is the single entry point for every attempt)
+        if self.health is not None and self.health.is_dead(op.peer_rank):
+            self._op_fail(op, WCStatus.PEER_DEAD)
+            return
         op.attempts += 1
         op.deadline = self.env.now + self.config.op_timeout_ns
         yield from op.replay(op)
@@ -446,27 +474,42 @@ class PhotonBase:
         if op.on_done is not None:
             op.on_done()
 
+    def _op_fail(self, op: ReliableOp, status: WCStatus) -> None:
+        """Terminally fail a reliable op with ``status`` (idempotent)."""
+        if op.state in ("done", "failed"):
+            return
+        op.state = "failed"
+        self._reliable.pop(op.key, None)
+        self._release_op_mrs(op)
+        if op.span is not None:
+            label = ("failed" if status is WCStatus.RETRY_EXC_ERR
+                     else status.value)
+            op.span.end(self.env.now, status=label,
+                        retries=max(0, op.attempts - 1))
+        self._op_results[op.key] = status
+        if status is WCStatus.PEER_DEAD:
+            self.counters.add("photon.dead_peer_fails")
+        else:
+            self.counters.add("photon.op_failures")
+        if op.local_cid is not None:
+            self.local_cids.append((op.local_cid, status))
+            self.counters.add("photon.local_cids")
+
     def _op_attempt_failed(self, op: ReliableOp) -> None:
         """One attempt failed (WR error or deadline): back off or give up."""
         if op.state != "pending":
             return
         if op.attempts > self.config.max_op_retries:
-            op.state = "failed"
-            self._reliable.pop(op.key, None)
-            self._release_op_mrs(op)
-            if op.span is not None:
-                op.span.end(self.env.now, status="failed",
-                            retries=op.attempts - 1)
-            self._op_results[op.key] = WCStatus.RETRY_EXC_ERR
-            self.counters.add("photon.op_failures")
-            if op.local_cid is not None:
-                self.local_cids.append((op.local_cid, WCStatus.RETRY_EXC_ERR))
-                self.counters.add("photon.local_cids")
+            self._op_fail(op, WCStatus.RETRY_EXC_ERR)
             return
         self.counters.add("photon.op_retries")
         base = self.config.backoff_base_ns << (op.attempts - 1)
         backoff = min(base, self.config.backoff_max_ns)
-        backoff += int(self._retry_rng.integers(0, self.config.backoff_base_ns))
+        # jitter decorrelates retries of ops that share a deadline cadence
+        # (e.g. every op against one dead peer); None keeps the historical
+        # one-backoff_base_ns window byte-for-byte
+        jitter = self.config.backoff_jitter_ns or self.config.backoff_base_ns
+        backoff += int(self._retry_rng.integers(0, jitter))
         op.state = "backoff"
         op.next_retry_at = self.env.now + backoff
 
@@ -481,6 +524,159 @@ class PhotonBase:
     def free_op(self, dst: int, op_id: int) -> None:
         """Drop the retained terminal status of a reliable op."""
         self._op_results.pop((dst, op_id), None)
+
+    # ------------------------------------------------------------- health
+    def attach_health(self, monitor) -> None:
+        """Consume a :class:`~repro.runtime.health.HealthMonitor`.
+
+        Pending reliable ops against a peer the detector declares dead are
+        failed with ``WCStatus.PEER_DEAD`` (and their flushed-out SQ slots
+        reclaimed); when the peer rejoins with a new incarnation the
+        pairing is re-armed from scratch.
+        """
+        self.health = monitor
+        monitor.on_dead(self._on_peer_dead)
+        monitor.on_join(self._on_peer_join)
+
+    def _on_peer_dead(self, rank: int) -> None:
+        if rank == self.rank or not self.alive:
+            return
+        self.handle_peer_dead(rank)
+
+    def _on_peer_join(self, rank: int) -> None:
+        if rank == self.rank or not self.alive:
+            return
+        self.rearm_peer(rank)
+
+    def handle_peer_dead(self, rank: int) -> None:
+        """Fail pending ops against a confirmed-dead peer, flush its QP.
+
+        Without this a reliable (non-lossy) fabric leaks SQ slots: a WR
+        posted toward a crashed peer is never acked and never errored, so
+        its slot would stay occupied until QueueFullError.  Tearing the QP
+        down flushes every pending WR with ``WR_FLUSH_ERR`` through the
+        normal CQ path.
+        """
+        peer = self.peers.get(rank)
+        if peer is None:
+            return
+        for key in [k for k in self._reliable if k[0] == rank]:
+            op = self._reliable.get(key)
+            if op is not None:
+                self._op_fail(op, WCStatus.PEER_DEAD)
+        if peer.qp.state is QPState.READY and peer.outstanding > 0:
+            peer.qp.teardown()
+        self.counters.add("photon.peer_dead_events")
+
+    # ------------------------------------------------------------- crash
+    def crash_local(self) -> None:
+        """Crash injection: this endpoint's volatile state is gone.
+
+        Called by the chaos controller *before* the NIC powers off.  No
+        simulated time is charged — a crash is instantaneous.  The
+        in-flight rcache pins are dropped without deregistration; the
+        matching :meth:`rejoin` flushes the cache, which restores the
+        reg/dereg balance.
+        """
+        self.alive = False
+        for peer in self.peers.values():
+            if peer.qp.state is QPState.READY:
+                peer.qp.teardown()
+        for op in self._reliable.values():
+            op.state = "failed"
+            op.mrs.clear()
+        self._reliable.clear()
+        self._op_results.clear()
+        self._ops.clear()
+        self.local_cids.clear()
+        self.remote_cids.clear()
+        self.messages.clear()
+        self.infos.clear()
+        self._atomic_results.clear()
+        self.counters.add("photon.crashes")
+
+    def rejoin(self):
+        """Restart this endpoint in place (generator, charges real time).
+
+        Sequence mirrors a process restart on the same host: flush every
+        cached registration (pins died with the process), re-register the
+        ledger region (new rkey — peers learn it through the mesh, the
+        PMI re-exchange analogue), drain stale CQ entries, then re-arm
+        every peer pairing.  The caller must not issue operations toward
+        a peer until that peer has also re-armed this pairing (the chaos
+        controller sequences this via the membership join event).
+        """
+        yield from self.rcache.flush()
+        if self._ledger_mr is not None:
+            if self._ledger_mr.valid:
+                yield from self.context.dereg_mr(self._ledger_mr)
+            self._ledger_mr = self.context.reg_mr_sync(
+                self.pd, self._ledger_base, self._ledger_size, Access.ALL)
+        while self.send_cq.poll(max_entries=64):
+            pass
+        while self.recv_cq.poll(max_entries=64):
+            pass
+        for peer in self.peers.values():
+            self._rearm_peer_state(peer)
+            if peer.qp.state is not QPState.READY:
+                peer.qp.reset_and_reconnect()
+            if self.config.use_imm:
+                while peer.preposted < self.config.imm_prepost:
+                    peer.qp.post_recv(RecvWR())
+                    peer.preposted += 1
+        self.alive = True
+        self.counters.add("photon.rejoins")
+
+    def rearm_peer(self, rank: int) -> None:
+        """Survivor side of a peer restart: reset the pairing's state.
+
+        Any op still pending against the peer is failed with
+        ``PEER_DEAD`` (it was addressed to the previous incarnation).
+        """
+        peer = self.peers.get(rank)
+        if peer is None:
+            return
+        for key in [k for k in self._reliable if k[0] == rank]:
+            op = self._reliable.get(key)
+            if op is not None:
+                self._op_fail(op, WCStatus.PEER_DEAD)
+        self._rearm_peer_state(peer)
+        if peer.qp.state is not QPState.READY:
+            peer.qp.reset_and_reconnect()
+        if self.config.use_imm:
+            while peer.preposted < self.config.imm_prepost:
+                peer.qp.post_recv(RecvWR())
+                peer.preposted += 1
+        self.counters.add("photon.peer_rearms")
+
+    def _rearm_peer_state(self, peer: PeerState) -> None:
+        """Reset both ring views of one pairing to their bootstrap state."""
+        other = self._mesh.get(peer.rank)
+        fresh_rkey = (other._ledger_mr.rkey
+                      if other is not None and other._ledger_mr is not None
+                      else None)
+        for name in RING_NAMES:
+            spec = self._specs[name]
+            peer.remote[name].reset()
+            peer.local[name].reset()
+            if fresh_rkey is not None:
+                peer.remote[name].rkey = fresh_rkey
+                peer.local[name].producer_rkey = fresh_rkey
+            # zero our consumer ring and both credit words for this peer:
+            # stale sequence numbers must not alias the fresh seq space
+            self.memory.write(self._layout[(peer.rank, name, "cons")],
+                              b"\x00" * spec.nbytes)
+            self.memory.write_u64(
+                self._layout[(peer.rank, name, "credit")], 0)
+            self.memory.write_u64(
+                self._layout[(peer.rank, name, "credit_stage")], 0)
+        peer.outstanding = 0
+        peer.preposted = 0
+        peer.tx_op_seq = 0
+        peer.rx_hwm = 0
+        peer.rx_seen.clear()
+        for key in [k for k in self._op_results if k[0] == peer.rank]:
+            del self._op_results[key]
 
     def _reconnect_peer(self, peer: PeerState) -> None:
         """Re-arm an errored QP (reliability layer owns reconnection)."""
@@ -514,7 +710,9 @@ class PhotonBase:
             yield env.timeout(nic.cqe_poll_ns)
             entry = self._ops.pop(wc.wr_id, None)
             peer = self.peers.get(wc.src_rank)
-            if peer is not None:
+            if peer is not None and peer.outstanding > 0:
+                # (> 0: completions of WRs flushed before a re-arm must
+                # not drive the reset count negative)
                 peer.outstanding -= 1
             if entry is None:
                 continue
@@ -558,9 +756,13 @@ class PhotonBase:
             self._in_deadline_scan = True
             try:
                 now = env.now
+                health = self.health
                 for key in list(self._reliable):
                     op = self._reliable.get(key)
                     if op is None:
+                        continue
+                    if health is not None and health.is_dead(op.peer_rank):
+                        self._op_fail(op, WCStatus.PEER_DEAD)
                         continue
                     if op.state == "pending" and now >= op.deadline:
                         self._op_attempt_failed(op)

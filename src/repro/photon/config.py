@@ -9,6 +9,7 @@ sweep these.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 __all__ = ["PhotonConfig", "DEFAULT_CONFIG"]
 
@@ -57,8 +58,14 @@ class PhotonConfig:
     #: fabric within this window is considered lost and replayed (ns)
     op_timeout_ns: int = 5_000_000
     #: base of the exponential retry backoff (doubles per attempt, plus
-    #: seeded jitter drawn from [0, backoff_base_ns)), ns
+    #: seeded jitter drawn from [0, backoff_jitter_ns or backoff_base_ns)),
+    #: ns
     backoff_base_ns: int = 20_000
+    #: width of the seeded retry-jitter window; None keeps the historical
+    #: default of one ``backoff_base_ns``.  When many ops against one peer
+    #: share a deadline cadence (peer death), widen this so concurrent
+    #: retries decorrelate instead of forming a synchronized retry storm
+    backoff_jitter_ns: Optional[int] = None
     #: ceiling for the exponential retry backoff (ns)
     backoff_max_ns: int = 1_000_000
     #: slot-stable resends of a lost ledger-entry write before the hole is
@@ -102,6 +109,8 @@ class PhotonConfig:
                       "wait_backoff_max_ns"):
             if getattr(self, field) <= 0:
                 raise ValueError(f"{field} must be positive")
+        if self.backoff_jitter_ns is not None and self.backoff_jitter_ns <= 0:
+            raise ValueError("backoff_jitter_ns must be positive when set")
         if self.wait_backoff_ramp < 0:
             raise ValueError("wait_backoff_ramp must be >= 0")
         if self.rcache_capacity < 1:

@@ -91,6 +91,15 @@ class RemoteRing:
         self.produced += 1
         return (self.produced, self.staging_base + off, self.remote_base + off)
 
+    def reset(self) -> None:
+        """Re-arm after a crash on either side: sequence space restarts.
+
+        The consumer zeroes its ring memory and credit word in the same
+        re-arm step, so the fresh producer's ``seq = 1`` entry is again
+        the first valid one.
+        """
+        self.produced = 0
+
 
 class LocalRing:
     """Consumer-side view of a ring in this rank's memory."""
@@ -129,3 +138,8 @@ class LocalRing:
         """Record that a credit update for ``consumed`` is on the wire."""
         self.credit_sent = self.consumed
         return self.consumed
+
+    def reset(self) -> None:
+        """Re-arm after a crash on either side (see ``RemoteRing.reset``)."""
+        self.consumed = 0
+        self.credit_sent = 0

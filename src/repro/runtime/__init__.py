@@ -9,6 +9,8 @@ global address space.
 from .actions import ActionRegistry
 from .coalesce import CoalescingTransport
 from .gas import GlobalAddressSpace, gas_allocate
+from .health import (ALIVE, DEAD, SUSPECT, HealthConfig, HealthMonitor,
+                     MembershipView, PhiAccrualDetector, build_health)
 from .lco import AndGate, Future, ReduceLCO
 from .parcel import PARCEL_HDR_SIZE, Parcel
 from .scheduler import Runtime
@@ -18,6 +20,8 @@ __all__ = [
     "ActionRegistry",
     "CoalescingTransport",
     "GlobalAddressSpace", "gas_allocate",
+    "ALIVE", "DEAD", "SUSPECT", "HealthConfig", "HealthMonitor",
+    "MembershipView", "PhiAccrualDetector", "build_health",
     "AndGate", "Future", "ReduceLCO",
     "PARCEL_HDR_SIZE", "Parcel",
     "Runtime",

@@ -1,0 +1,288 @@
+"""Heartbeat service and phi-accrual failure detection.
+
+Each rank runs a :class:`HealthMonitor`: a beat loop that sends zero-byte
+heartbeat messages to every peer over the *real* fabric (so partitions,
+gray links and powered-off NICs starve detection exactly like data), and
+a phi-accrual-style detector per peer that turns heartbeat arrival gaps
+into a continuous suspicion level.
+
+Suspicion: assuming exponential inter-arrival with the observed mean,
+``phi = (now - last_rx) / (mean * ln 10)`` — i.e. phi is the number of
+decimal orders of magnitude of confidence that the peer is gone.  Two
+thresholds map phi onto the membership states::
+
+    alive --phi >= phi_suspect--> suspect --phi >= phi_dead--> dead
+
+DEAD is sticky: a dead peer only returns to ALIVE when a heartbeat with
+a *higher incarnation number* arrives (the peer restarted), which keeps
+every monitor's membership view monotonic.  SUSPECT is not sticky — one
+fresh heartbeat clears it (gray link, not a crash).
+
+Consumers register callbacks via :meth:`HealthMonitor.on_dead` /
+:meth:`on_join`; the photon reliability layer, the runtime circuit
+breaker and the minimpi error paths all attach here (see their
+``attach_health`` methods).
+
+Nothing in this module runs unless :func:`build_health` is called, so
+un-chaosed runs are bit-identical with or without the module imported.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..fabric.nic import WireMsg
+
+__all__ = ["HealthConfig", "PhiAccrualDetector", "MembershipView",
+           "HealthMonitor", "build_health",
+           "ALIVE", "SUSPECT", "DEAD"]
+
+ALIVE = "alive"
+SUSPECT = "suspect"
+DEAD = "dead"
+
+_LN10 = math.log(10.0)
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Failure-detector tuning (see DESIGN.md fault-model section)."""
+
+    #: heartbeat period per peer (ns)
+    period_ns: int = 50_000
+    #: phi at which a peer becomes SUSPECT (cleared by one heartbeat)
+    phi_suspect: float = 2.0
+    #: phi at which a peer is declared DEAD (sticky; needs an incarnation
+    #: bump to clear).  Detection latency ~= phi_dead * mean * ln(10).
+    phi_dead: float = 6.0
+    #: EWMA weight of the newest inter-arrival sample
+    ewma_alpha: float = 0.2
+    #: ignore samples shorter than this (heartbeat bunching after a stall)
+    min_interval_ns: int = 1_000
+
+    def validate(self) -> None:
+        if self.period_ns <= 0:
+            raise ValueError("period_ns must be positive")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.phi_dead <= self.phi_suspect:
+            raise ValueError("phi_dead must exceed phi_suspect")
+
+
+class PhiAccrualDetector:
+    """Suspicion level for one observed peer (no RNG — fully determined
+    by heartbeat arrival times)."""
+
+    __slots__ = ("mean_ns", "last_rx", "samples", "_alpha", "_min_interval")
+
+    def __init__(self, config: HealthConfig, now: int):
+        # seed the mean at the nominal period so the very first gaps are
+        # judged against a sane baseline instead of dividing by zero
+        self.mean_ns = float(config.period_ns)
+        self.last_rx = now
+        self.samples = 0
+        self._alpha = config.ewma_alpha
+        self._min_interval = config.min_interval_ns
+
+    def sample(self, now: int) -> None:
+        interval = now - self.last_rx
+        self.last_rx = now
+        if interval < self._min_interval:
+            return
+        self.samples += 1
+        self.mean_ns += self._alpha * (interval - self.mean_ns)
+
+    def phi(self, now: int) -> float:
+        elapsed = now - self.last_rx
+        if elapsed <= 0:
+            return 0.0
+        return elapsed / (self.mean_ns * _LN10)
+
+
+class MembershipView:
+    """Monotonic membership: the version only moves forward, and a DEAD
+    rank only returns through a higher incarnation."""
+
+    def __init__(self, n: int):
+        self.version = 0
+        self.status: Dict[int, str] = {r: ALIVE for r in range(n)}
+        self.incarnation: Dict[int, int] = {r: 1 for r in range(n)}
+        #: bounded log of (version, rank, old, new, incarnation)
+        self.history: Deque[Tuple[int, int, str, str, int]] = \
+            deque(maxlen=4096)
+
+    def transition(self, rank: int, new: str,
+                   incarnation: Optional[int] = None) -> bool:
+        old = self.status[rank]
+        if incarnation is not None:
+            self.incarnation[rank] = incarnation
+        if old == new:
+            return False
+        self.status[rank] = new
+        self.version += 1
+        self.history.append((self.version, rank, old, new,
+                             self.incarnation[rank]))
+        return True
+
+
+class HealthMonitor:
+    """Heartbeat + detection for one rank (see module docstring)."""
+
+    def __init__(self, cluster, rank: int,
+                 config: Optional[HealthConfig] = None):
+        self.cluster = cluster
+        self.rank = rank
+        self.config = config or HealthConfig()
+        self.config.validate()
+        self.env = cluster.env
+        self.node = cluster[rank]
+        self.counters = cluster.scope(rank)
+        self.tracer = cluster.tracer
+        self.view = MembershipView(cluster.n)
+        self.incarnation = 1
+        #: True between a chaos halt() and the matching resume()
+        self.halted = False
+        self._detectors: Dict[int, PhiAccrualDetector] = {}
+        self._mesh: Dict[int, "HealthMonitor"] = {}
+        self._on_dead: List[Callable[[int], None]] = []
+        self._on_join: List[Callable[[int], None]] = []
+        self._outage_spans: Dict[int, object] = {}
+        self._started = False
+
+    # ------------------------------------------------------------- wiring
+    def on_dead(self, cb: Callable[[int], None]) -> None:
+        self._on_dead.append(cb)
+
+    def on_join(self, cb: Callable[[int], None]) -> None:
+        self._on_join.append(cb)
+
+    def is_dead(self, rank: int) -> bool:
+        return self.view.status.get(rank) == DEAD
+
+    def suspicion(self, rank: int) -> float:
+        det = self._detectors.get(rank)
+        return det.phi(self.env.now) if det is not None else 0.0
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        now = self.env.now
+        for peer in range(self.cluster.n):
+            if peer != self.rank:
+                self._detectors[peer] = PhiAccrualDetector(self.config, now)
+        self.env.process(self._beat_loop(),
+                         name=f"health{self.rank}:beat")
+
+    # -------------------------------------------------------------- chaos
+    def halt(self) -> None:
+        """Crash injection: stop beating, sampling and evaluating."""
+        self.halted = True
+
+    def resume(self) -> None:
+        """Restart with a new incarnation and a fresh (bootstrap) view —
+        a restarted process has no memory of its old suspicions."""
+        self.incarnation += 1
+        self.halted = False
+        now = self.env.now
+        self.view = MembershipView(self.cluster.n)
+        for det in self._detectors.values():
+            det.last_rx = now
+            det.mean_ns = float(self.config.period_ns)
+            det.samples = 0
+        self.counters.add("health.restarts")
+
+    # ------------------------------------------------------------ beating
+    def _beat_loop(self):
+        period = self.config.period_ns
+        while True:
+            yield self.env.timeout(period)
+            if self.halted:
+                continue
+            for peer in self._detectors:
+                self._send_heartbeat(peer)
+            self._evaluate()
+
+    def _send_heartbeat(self, peer: int) -> None:
+        inc = self.incarnation
+        target = self._mesh.get(peer)
+
+        def delivered(nic, msg, _target=target, _src=self.rank, _inc=inc):
+            if _target is not None:
+                _target.receive(_src, _inc, nic.env.now)
+
+        self.node.nic.transmit(WireMsg(
+            src=self.rank, dst=peer, nbytes=0, kind="hb",
+            on_delivered=delivered))
+        self.counters.add("health.heartbeats")
+
+    def receive(self, src: int, incarnation: int, now: int) -> None:
+        if self.halted:
+            return
+        det = self._detectors.get(src)
+        if det is None:
+            return
+        known = self.view.incarnation.get(src, 1)
+        if incarnation > known:
+            # the peer restarted: DEAD -> ALIVE is legal exactly here
+            det.last_rx = now
+            det.mean_ns = float(self.config.period_ns)
+            det.samples = 0
+            if self.view.transition(src, ALIVE, incarnation=incarnation):
+                self.counters.add("health.joins")
+                self.tracer.log(now, "health.join", observer=self.rank,
+                                rank=src, incarnation=incarnation)
+                span = self._outage_spans.pop(src, None)
+                if span is not None:
+                    span.end(now, status="recovered")
+                for cb in self._on_join:
+                    cb(src)
+            return
+        if self.view.status[src] == DEAD:
+            return  # stale incarnation of a dead peer: sticky
+        det.sample(now)
+        if self.view.status[src] == SUSPECT:
+            if self.view.transition(src, ALIVE):
+                self.counters.add("health.recoveries")
+
+    def _evaluate(self) -> None:
+        now = self.env.now
+        for peer, det in self._detectors.items():
+            status = self.view.status[peer]
+            if status == DEAD:
+                continue
+            phi = det.phi(now)
+            if phi >= self.config.phi_dead:
+                self.view.transition(peer, DEAD)
+                self.counters.add("health.deaths")
+                self.tracer.log(now, "health.dead", observer=self.rank,
+                                rank=peer, phi=round(phi, 2))
+                # detection latency: last heartbeat seen -> declaration
+                span = self.counters.span("health.detect", det.last_rx,
+                                          peer=peer)
+                if span is not None:
+                    span.end(now)
+                self._outage_spans[peer] = self.counters.span(
+                    "health.outage", now, peer=peer)
+                for cb in self._on_dead:
+                    cb(peer)
+            elif phi >= self.config.phi_suspect and status == ALIVE:
+                self.view.transition(peer, SUSPECT)
+                self.counters.add("health.suspects")
+                self.tracer.log(now, "health.suspect", observer=self.rank,
+                                rank=peer, phi=round(phi, 2))
+
+
+def build_health(cluster, config: Optional[HealthConfig] = None,
+                 start: bool = True) -> List[HealthMonitor]:
+    """One started :class:`HealthMonitor` per rank, mesh-wired."""
+    monitors = [HealthMonitor(cluster, r, config) for r in range(cluster.n)]
+    mesh = {m.rank: m for m in monitors}
+    for m in monitors:
+        m._mesh = mesh
+        if start:
+            m.start()
+    return monitors

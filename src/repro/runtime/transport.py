@@ -92,6 +92,12 @@ class PhotonTransport:
         #: in-flight eager parcels: (dst, op id, raw, resends so far)
         self._eager_ops: deque = deque()
         self._health: Dict[int, _PeerHealth] = {}
+        #: failure-detector handle (None unless attach_health was called)
+        self.monitor = None
+        #: bounded log of (t, peer, old_state, new_state) — the breaker
+        #: legality invariant checker consumes this
+        self.breaker_log: deque = deque(maxlen=4096)
+        self._open_spans: Dict[int, object] = {}
 
     # --------------------------------------------------------- circuit breaker
     def _peer_health(self, dst: int) -> _PeerHealth:
@@ -99,6 +105,50 @@ class PhotonTransport:
         if h is None:
             h = self._health[dst] = _PeerHealth()
         return h
+
+    def attach_health(self, monitor) -> None:
+        """Consume a failure detector: a confirmed-dead peer opens the
+        breaker immediately (no need to burn ``breaker_threshold``
+        parcel failures first) and a rejoin closes it."""
+        self.monitor = monitor
+        monitor.on_dead(self._on_peer_dead)
+        monitor.on_join(self._on_peer_join)
+
+    def _on_peer_dead(self, rank: int) -> None:
+        if rank == self.rank:
+            return
+        h = self._peer_health(rank)
+        if h.state != "open":
+            self.ph.counters.add("transport.peer_down")
+            self._transition(rank, h, "open")
+        h.open_until = self.ph.env.now + self.breaker_cooldown_ns
+
+    def _on_peer_join(self, rank: int) -> None:
+        if rank == self.rank:
+            return
+        h = self._peer_health(rank)
+        h.failures = 0
+        if h.state != "closed":
+            self.ph.counters.add("transport.peer_up")
+            self._transition(rank, h, "closed")
+
+    def _transition(self, dst: int, h: _PeerHealth, new_state: str) -> None:
+        """Move the breaker and export the transition through obs."""
+        old = h.state
+        if old == new_state:
+            return
+        h.state = new_state
+        now = self.ph.env.now
+        self.breaker_log.append((now, dst, old, new_state))
+        self.ph.counters.add(
+            f"transport.breaker_{new_state.replace('-', '_')}")
+        if new_state == "open":
+            self._open_spans[dst] = self.ph.counters.span(
+                "transport.breaker_open", now, peer=dst)
+        elif new_state == "closed":
+            span = self._open_spans.pop(dst, None)
+            if span is not None:
+                span.end(now, status="recovered")
 
     def peer_is_down(self, dst: int) -> bool:
         """True while the breaker is open and the cooldown has not expired."""
@@ -109,27 +159,35 @@ class PhotonTransport:
     def _record_failure(self, dst: int) -> None:
         h = self._peer_health(dst)
         h.failures += 1
+        if h.state == "half-open":
+            self.ph.counters.add("transport.probe_failures")
         if h.state == "half-open" or h.failures >= self.breaker_threshold:
             if h.state != "open":
                 self.ph.counters.add("transport.peer_down")
-            h.state = "open"
+                self._transition(dst, h, "open")
             h.open_until = self.ph.env.now + self.breaker_cooldown_ns
 
     def _record_success(self, dst: int) -> None:
         h = self._peer_health(dst)
         h.failures = 0
         if h.state != "closed":
-            h.state = "closed"
+            if h.state == "half-open":
+                self.ph.counters.add("transport.probe_successes")
             self.ph.counters.add("transport.peer_up")
+            self._transition(dst, h, "closed")
 
     def _check_breaker(self, dst: int) -> None:
         h = self._peer_health(dst)
+        if self.monitor is not None and self.monitor.is_dead(dst):
+            # confirmed dead: fail fast regardless of breaker cooldown
+            self.ph.counters.add("transport.fast_fails")
+            raise PeerDownError(self.rank, dst)
         if h.state == "open":
             if self.ph.env.now < h.open_until:
                 self.ph.counters.add("transport.fast_fails")
                 raise PeerDownError(self.rank, dst)
             # cooldown elapsed: let exactly this send probe the peer
-            h.state = "half-open"
+            self._transition(dst, h, "half-open")
 
     # ----------------------------------------------------------------- send
     def send(self, dst: int, raw: bytes):
@@ -264,6 +322,9 @@ class PhotonTransport:
             "free_landings": len(self._free_landings),
             "send_slots_busy": sum(1 for r in self._slot_rids
                                    if r is not None),
+            "breaker_transitions": [
+                {"t": t, "peer": p, "from": old, "to": new}
+                for t, p, old, new in self.breaker_log],
             "peers": {
                 str(r): {"state": h.state, "failures": h.failures,
                          "open_until": h.open_until}

@@ -13,7 +13,7 @@ import hashlib
 
 import numpy as np
 
-__all__ = ["RngRegistry", "stream"]
+__all__ = ["RngRegistry", "ScopedStreams", "stream"]
 
 
 def _derive(root_seed: int, name: str) -> int:
@@ -36,9 +36,35 @@ class RngRegistry:
             self._streams[name] = gen
         return gen
 
+    def namespace(self, prefix: str) -> "ScopedStreams":
+        """A view of this registry that prepends ``prefix.`` to every name.
+
+        Subsystems that own a family of streams (e.g. the chaos
+        controller's per-link gray-failure modes) take a namespace so
+        each feature draws from its own ``(root_seed, prefix.name)``
+        stream: enabling one never shifts the draws seen by another.
+        """
+        return ScopedStreams(self, prefix)
+
     def reset(self) -> None:
         """Forget all streams (they re-derive from the root on next use)."""
         self._streams.clear()
+
+
+class ScopedStreams:
+    """Prefix-scoped view of an :class:`RngRegistry` (see ``namespace``)."""
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: RngRegistry, prefix: str):
+        self._registry = registry
+        self._prefix = prefix
+
+    def stream(self, name: str) -> np.random.Generator:
+        return self._registry.stream(f"{self._prefix}.{name}")
+
+    def namespace(self, prefix: str) -> "ScopedStreams":
+        return ScopedStreams(self._registry, f"{self._prefix}.{prefix}")
 
 
 _default = RngRegistry(0)

@@ -38,6 +38,9 @@ class WCStatus(enum.Enum):
     RETRY_EXC_ERR = "retry_exceeded"
     #: work request flushed because its QP entered the ERROR state
     WR_FLUSH_ERR = "wr_flush_error"
+    #: the peer was declared dead by the failure detector — the op was
+    #: failed fast instead of burning its full deadline + retry budget
+    PEER_DEAD = "peer_dead"
 
 
 class Access(enum.Flag):

@@ -250,6 +250,16 @@ class QueuePair:
         return done, fail
 
     # -- error state -----------------------------------------------------------
+    def teardown(self) -> None:
+        """Administrative teardown (crash injection / dead-peer cleanup).
+
+        Forces the QP into ERROR so every pending send WR and posted
+        receive flushes with ``WR_FLUSH_ERR`` through the normal CQ
+        paths — the hook chaos and the health layer use to reclaim SQ
+        slots that would otherwise leak against an unresponsive peer.
+        """
+        self._enter_error()
+
     def _enter_error(self) -> None:
         """Transition to ERROR and flush everything outstanding.
 

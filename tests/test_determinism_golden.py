@@ -48,9 +48,16 @@ def _trace_fingerprint(cl) -> str:
 # workloads (trace-enabled, exercising photon + minimpi data paths)
 # --------------------------------------------------------------------------
 
-def _photon_clean_workload():
-    """Clean fabric: PWC puts with completions, then an eager send flood."""
+def _photon_clean_workload(chaos_hook=None):
+    """Clean fabric: PWC puts with completions, then an eager send flood.
+
+    ``chaos_hook(cl)`` (used by the chaos suite) runs before the workload
+    starts — an armed-but-empty chaos controller must keep the trace
+    bit-identical to the golden hash.
+    """
     cl = build_cluster(2, params="ib-fdr", seed=3, trace=True)
+    if chaos_hook is not None:
+        chaos_hook(cl)
     ph = photon_init(cl)
     size = 8192
     src = ph[0].buffer(size)
@@ -118,11 +125,13 @@ def _mpi_clean_workload():
     return cl
 
 
-def _photon_lossy_workload():
+def _photon_lossy_workload(chaos_hook=None):
     """Lossy fabric, NIC ARQ off: every drop recovered by Photon replay."""
     cl = build_cluster(2, params="ib-fdr", seed=7, trace=True,
                        link__loss_mode="lossy", link__drop_rate=0.02,
                        nic__transport_retries=0)
+    if chaos_hook is not None:
+        chaos_hook(cl)
     ph = photon_init(cl, PhotonConfig(max_op_retries=5))
     size = 16384
     src = ph[0].buffer(size)

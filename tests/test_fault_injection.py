@@ -395,3 +395,50 @@ def test_same_seed_identical_retry_schedule():
     assert a == b
     assert a["photon.op_retries"] > 0
     assert run(6) != a
+
+
+def test_qp_reconnect_under_rapid_flaps():
+    """Partition-heal-partition inside one backoff window: a flapping
+    link forces repeated QP error/flush/reconnect cycles, and every op
+    still lands exactly once.  The src registration is rcache-pinned
+    before the first flap and must survive every reconnect (hits, not
+    re-registrations)."""
+    from repro.chaos import ChaosController, FaultSchedule, FlapLink
+    # a hair of built-in loss arms the NIC ARQ machinery so flap drops
+    # surface as ack timeouts -> RETRY_EXC_ERR -> QP ERROR -> reconnect
+    cl = build_cluster(2, params="ib-fdr", seed=31,
+                       link__loss_mode="lossy", link__drop_rate=1e-9,
+                       nic__transport_retries=0)
+    ph = photon_init(cl, PhotonConfig(use_imm=False, max_op_retries=12,
+                                      op_timeout_ns=150_000,
+                                      backoff_base_ns=40_000,
+                                      backoff_jitter_ns=60_000))
+    size = 4096
+    src = ph[0].buffer(size)
+    dst = ph[1].buffer(size)
+    ctrl = ChaosController(cl, FaultSchedule(
+        [FlapLink(20_000, "up0", period_ns=120_000, duty=0.5,
+                  duration_ns=1_200_000)]))
+    ctrl.arm()
+    hits_before = ph[0].rcache.hits
+
+    def prog(env):
+        for i in range(6):
+            payload = bytes([i + 1]) * size
+            cl[0].memory.write(src.addr, payload)
+            yield from ph[0].put_pwc(1, src.addr, size, dst.addr,
+                                     dst.rkey, local_cid=i + 1,
+                                     remote_cid=i + 1)
+            c = yield from ph[0].wait_completion("local",
+                                                 timeout_ns=TIMEOUT)
+            assert c is not None and c.ok, f"put {i} lost across flaps"
+            assert cl[1].memory.read(dst.addr, size) == payload
+
+    cl.env.run(until=cl.env.process(prog(cl.env)))
+    assert cl.counters.get("link.chaos_drops") > 0
+    assert cl.counters.get("photon.qp_reconnects") >= 1
+    assert cl.counters.get("qp.reconnects") >= 1
+    # the cached src registration served every put after the first
+    assert ph[0].rcache.hits - hits_before >= 5
+    cl.env.run(until=2_000_000)
+    assert cl.topology.link("up0").chaos is None
