@@ -1,0 +1,18 @@
+"""Benchmark R20 — repro.kv serving + failover experiment (DESIGN.md §4).
+
+Runs the reconstructed experiment in quick mode under pytest-benchmark
+and asserts its qualitative shape checks (both read arms complete, the
+one-sided median beats the RPC round-trip, failover elects within the
+detection bound with zero acked-write loss).
+"""
+
+from repro.bench.experiments import r20_kvstore
+
+
+def test_r20_kvstore(benchmark):
+    result = benchmark.pedantic(r20_kvstore.run, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.all_checks_pass, \
+        f"shape checks failed: {result.failed_checks()}"

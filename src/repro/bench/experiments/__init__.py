@@ -25,6 +25,7 @@ from . import (
     r17_faults,
     r18_walltime,
     r19_chaos,
+    r20_kvstore,
 )
 
 ALL = {
@@ -47,6 +48,7 @@ ALL = {
     "r17": r17_faults,
     "r18": r18_walltime,
     "r19": r19_chaos,
+    "r20": r20_kvstore,
 }
 
 __all__ = ["ALL"] + [f"r{i}_{n}" for i, n in []]

@@ -1,0 +1,273 @@
+"""KV client: leader discovery, redirects, retries, two read arms.
+
+A :class:`KVClient` lives on some rank and talks to the store through
+that rank's :class:`~repro.kv.store.KVNode` hub (responses are delivered
+by the node's server loop, requests go straight onto the shared parcel
+transport — concurrent senders per rank are a supported pattern
+everywhere in this repo).
+
+Write path: the client hashes the key to a group, sends the command to
+its best guess for the group's leader, and follows ``NotLeader``
+redirects / times out onto the next replica.  Retries reuse the same
+``(client_id, seq)`` uid, so the session layer in the state machine
+makes them exactly-once even when the original attempt committed before
+the leader died.  Every OK/CAS-fail/miss write response is recorded in
+``self.acked`` — the failover invariant checker replays that list
+against the surviving replicas.
+
+Read paths (the RDMA-vs-RPC comparison axis):
+
+* ``rpc``: a parcel round-trip served by the leader from local state
+  under a read lease (no log write, still linearizable — the lease is
+  sized under the phi-accrual detection bound, see DESIGN.md §10).
+* ``onesided``: resolve ``key → (leader, addr, rkey, slot)`` once via a
+  ``loc`` RPC, then read the slot with a raw ``get_pwc`` — one wire
+  round, zero remote CPU.  Slot headers carry a version + presence
+  flags; a failed or stale read falls back to the RPC path and
+  invalidates the cached location.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Tuple
+
+from .shard import (Command, OP_CAS, OP_DELETE, OP_PUT, ST_CAS_FAIL,
+                    ST_MISS, ST_OK, encode_command)
+from .store import (ACT_REQ, KVNode, REQ_LOC, REQ_READ, REQ_WRITE,
+                    RESP_FAIL, RESP_NO_LEASE, RESP_NOT_LEADER,
+                    SLOT_OVERSIZE, SLOT_PRESENT, _SLOT, pack_request,
+                    unpack_loc)
+from ..runtime.transport import PeerDownError
+
+__all__ = ["KVClient", "ClientStats"]
+
+#: base for client-local get_pwc completion ids — far above the cid
+#: ranges used by transports (PARCEL_TAG) and experiment drivers
+_CID_BASE = (1 << 52) + 11
+
+
+class ClientStats:
+    """Counters one client accumulates (cheap, no obs spans here)."""
+
+    __slots__ = ("redirects", "timeouts", "lease_retries", "loc_lookups",
+                 "onesided_reads", "onesided_fallbacks", "rpc_reads",
+                 "writes", "failures")
+
+    def __init__(self):
+        for f in self.__slots__:
+            setattr(self, f, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f: getattr(self, f) for f in self.__slots__}
+
+
+class KVClient:
+    """One logical client session (unique id, monotonically growing seq)."""
+
+    def __init__(self, node: KVNode, client_id: int,
+                 read_mode: str = "rpc", timeout_ns: int = 2_000_000,
+                 poll_ns: int = 2_000, max_attempts: int = 24):
+        if read_mode not in ("rpc", "onesided"):
+            raise ValueError(f"unknown read_mode {read_mode!r}")
+        self.node = node
+        self.env = node.env
+        self.photon = node.photon
+        self.client_id = client_id
+        self.read_mode = read_mode
+        self.timeout_ns = timeout_ns
+        self.poll_ns = poll_ns
+        self.max_attempts = max_attempts
+        self.seq = 0
+        self.stats = ClientStats()
+        #: group -> believed leader rank
+        self._leader: Dict[int, int] = {}
+        #: key -> (leader, slot addr, rkey, slot_size) for one-sided reads
+        self._loc: Dict[bytes, Tuple[int, int, int, int]] = {}
+        #: every acknowledged mutation: (client, seq, op, key, value) —
+        #: the failover checker asserts these survive leader crashes
+        self.acked: List[Tuple[int, int, int, bytes, bytes]] = []
+        self._scratch = node.photon.buffer(node.config.slot_size)
+        self._cid = _CID_BASE + client_id * (1 << 20)
+
+    # -------------------------------------------------------------- writes
+    def put(self, key: bytes, value: bytes):
+        """Replicated put (generator).  Returns the ST_* status."""
+        status, _ = yield from self._write(OP_PUT, key, value, b"")
+        return status
+
+    def cas(self, key: bytes, expected: bytes, value: bytes):
+        """Compare-and-swap (generator).  Returns ``(status, witness)``
+        where witness is the conflicting current value on CAS_FAIL."""
+        return (yield from self._write(OP_CAS, key, value, expected))
+
+    def delete(self, key: bytes):
+        """Replicated delete (generator).  Returns the ST_* status."""
+        status, _ = yield from self._write(OP_DELETE, key, b"", b"")
+        return status
+
+    def _write(self, op: int, key: bytes, value: bytes, expected: bytes):
+        self.seq += 1
+        seq = self.seq
+        cmd = Command(op=op, client=self.client_id, seq=seq, key=key,
+                      value=value, expected=expected)
+        group = self.node.shard_map.group_of(key)
+        payload = pack_request(REQ_WRITE, self.client_id, seq, group,
+                               encode_command(cmd))
+        status, resp = yield from self._rpc(group, payload, seq)
+        if status in (ST_OK, ST_MISS, ST_CAS_FAIL):
+            # the command reached the state machine => it is durable on a
+            # commit majority, whatever the outcome code says
+            self.acked.append((self.client_id, seq, op, key, value))
+            self.stats.writes += 1
+        else:
+            self.stats.failures += 1
+        return status, resp
+
+    # --------------------------------------------------------------- reads
+    def get(self, key: bytes):
+        """Read (generator).  Returns ``(status, value)`` via the arm
+        selected at construction time."""
+        if self.read_mode == "onesided":
+            return (yield from self._get_onesided(key))
+        return (yield from self._get_rpc(key))
+
+    def _get_rpc(self, key: bytes):
+        self.seq += 1
+        seq = self.seq
+        group = self.node.shard_map.group_of(key)
+        payload = pack_request(REQ_READ, self.client_id, seq, group,
+                               struct.pack("<H", len(key)) + key)
+        status, value = yield from self._rpc(group, payload, seq)
+        if status in (ST_OK, ST_MISS):
+            self.stats.rpc_reads += 1
+        else:
+            self.stats.failures += 1
+        return status, value
+
+    def _get_onesided(self, key: bytes):
+        loc = self._loc.get(key)
+        if loc is None:
+            loc = yield from self._resolve_loc(key)
+            if loc is None:
+                # unknown key (or leaderless window): authoritative answer
+                # comes from the lease path
+                return (yield from self._get_rpc(key))
+        leader, addr, rkey, slot_size = loc
+        self._cid += 1
+        cid = self._cid
+        try:
+            yield from self.photon.get_pwc(
+                leader, self._scratch.addr, slot_size, addr, rkey,
+                local_cid=cid)
+        except PeerDownError:
+            comp = None
+        else:
+            comp = yield from self._wait_local(cid)
+        if comp is None or not comp.ok:
+            # leader died or moved: drop what we believed about it
+            self._loc.pop(key, None)
+            self._leader.clear()
+            self.stats.onesided_fallbacks += 1
+            return (yield from self._get_rpc(key))
+        version, length, flags = _SLOT.unpack_from(
+            self.photon.memory.read(self._scratch.addr, _SLOT.size), 0)
+        if flags & SLOT_OVERSIZE or not flags & SLOT_PRESENT:
+            # deleted key or value too large for the slot: fall back so
+            # the answer is authoritative (slot says nothing about keys
+            # written after our loc snapshot on other nodes)
+            self._loc.pop(key, None)
+            self.stats.onesided_fallbacks += 1
+            return (yield from self._get_rpc(key))
+        value = self.photon.memory.read_bytes(
+            self._scratch.addr + _SLOT.size, length)
+        self.stats.onesided_reads += 1
+        return ST_OK, value
+
+    def _resolve_loc(self, key: bytes):
+        self.seq += 1
+        seq = self.seq
+        group = self.node.shard_map.group_of(key)
+        payload = pack_request(REQ_LOC, self.client_id, seq, group,
+                               struct.pack("<H", len(key)) + key)
+        status, raw = yield from self._rpc(group, payload, seq)
+        self.stats.loc_lookups += 1
+        if status != ST_OK:
+            return None
+        leader, _slot, slot_size, addr, rkey = unpack_loc(raw)
+        loc = (leader, addr, rkey, slot_size)
+        self._loc[key] = loc
+        return loc
+
+    def _wait_local(self, cid: int):
+        """Wait for *our* local completion; requeue other processes'."""
+        deadline = self.env.now + self.timeout_ns
+        while self.env.now < deadline:
+            remaining = deadline - self.env.now
+            comp = yield from self.photon.wait_completion(
+                "local", timeout_ns=min(remaining, self.timeout_ns))
+            if comp is None:
+                return None
+            if comp.cid == cid:
+                return comp
+            self.photon.local_cids.append((comp.cid, comp.status))
+            yield self.env.timeout(self.poll_ns)
+        return None
+
+    # ----------------------------------------------------------- transport
+    def _rpc(self, group: int, payload: bytes, seq: int):
+        """Send to the believed leader, follow redirects, retry on
+        timeout.  Returns ``(status, value)`` with RESP_FAIL on give-up."""
+        replicas = self.node.shard_map.replicas(group)
+        dst = self._leader.get(group, replicas[0])
+        fallback = 0
+        # leaderless windows (bootstrap, failover) last an election
+        # timeout or more: back off exponentially instead of burning the
+        # attempt budget at poll speed
+        backoff = self.poll_ns * 8
+        for _attempt in range(self.max_attempts):
+            sent = True
+            try:
+                yield from self.node.runtime.send(dst, ACT_REQ, payload)
+            except PeerDownError:
+                sent = False
+            answer = None
+            if sent:
+                answer = yield from self._await(seq)
+            if answer is None:
+                # dead/laggy replica: rotate through the replica set
+                self.stats.timeouts += sent
+                fallback += 1
+                dst = replicas[fallback % len(replicas)]
+                self._leader.pop(group, None)
+                continue
+            status, hint, value = answer
+            if status == RESP_NOT_LEADER:
+                self.stats.redirects += 1
+                if hint >= 0 and hint != dst:
+                    dst = hint
+                else:
+                    fallback += 1
+                    dst = replicas[fallback % len(replicas)]
+                    yield self.env.timeout(backoff)
+                    backoff = min(backoff * 2, 400_000)
+                continue
+            if status == RESP_NO_LEASE:
+                self.stats.lease_retries += 1
+                yield self.env.timeout(backoff)
+                backoff = min(backoff * 2, 400_000)
+                continue
+            self._leader[group] = dst
+            return status, value
+        return RESP_FAIL, b""
+
+    def _await(self, seq: int):
+        """Poll the hub for our response until the per-attempt timeout."""
+        hub = self.node.hub
+        key = (self.client_id, seq)
+        deadline = self.env.now + self.timeout_ns
+        while key not in hub:
+            if self.env.now >= deadline:
+                return None
+            yield self.env.timeout(self.poll_ns)
+        return hub.pop(key)

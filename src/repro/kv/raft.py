@@ -1,0 +1,588 @@
+"""A minimal deterministic Raft core for one replication group.
+
+This module is *pure protocol logic*: a :class:`RaftNode` never touches
+the event loop, the fabric or the photon endpoint directly.  It consumes
+three inputs — the current simulated time, decoded peer messages, and
+tick calls — and produces outgoing messages into an outbox the caller
+(:class:`repro.kv.store.KVNode`) drains onto the wire.  That keeps the
+consensus state machine unit-testable without a cluster and keeps every
+byte of Raft traffic on the caller's transport, which in this repo means
+Photon PWC eager sends surfaced by completion-ledger probes (see
+DESIGN.md §10 for the exact slot mapping).
+
+Faithfulness notes (what is and isn't modelled):
+
+- terms, leader election, log replication, commit-on-majority and the
+  current-term commit restriction are the real algorithm;
+- election scheduling is *deterministic*: timeouts draw jitter from a
+  named RNG stream (``kv.raft.g<group>.r<rank>``), and the failure
+  detector (:mod:`repro.runtime.health`) short-circuits the conservative
+  timeout when it declares the known leader dead — detection-driven
+  elections are the point of riding the health layer;
+- persistence is not modelled: a crashed replica stays down (fail-stop)
+  unless the caller explicitly reseeds it.  The experiments never
+  restart a Raft replica into the same group;
+- compaction is the snapshot-free stub the paper-scale experiments
+  need: an applied prefix is discarded only once every live follower's
+  ``match_index`` has passed it, so no follower can ever need a
+  discarded entry and no snapshot transfer mechanism is required.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.core import SimulationError
+
+__all__ = ["RaftConfig", "RaftNode", "RaftMsg", "encode_msg", "decode_msg",
+           "FOLLOWER", "CANDIDATE", "LEADER",
+           "MSG_VOTE_REQ", "MSG_VOTE_REPLY", "MSG_APPEND", "MSG_APPEND_REPLY"]
+
+FOLLOWER = "follower"
+CANDIDATE = "candidate"
+LEADER = "leader"
+
+MSG_VOTE_REQ = 1
+MSG_VOTE_REPLY = 2
+MSG_APPEND = 3
+MSG_APPEND_REPLY = 4
+
+#: type u8, group u16, term u64, src u16
+_HDR = struct.Struct("<BHQH")
+#: RequestVote body: last_log_index u64, last_log_term u64
+_RV = struct.Struct("<QQ")
+#: VoteReply body: granted u8
+_RVR = struct.Struct("<B")
+#: AppendEntries body: prev_index, prev_term, commit, sent_ns u64s; n u16
+_AE = struct.Struct("<QQQQH")
+#: AppendReply body: success u8, match_index u64, sent_ns u64 (echoed)
+_AER = struct.Struct("<BQQ")
+#: per-entry frame: term u64, length u32
+_ENTRY = struct.Struct("<QI")
+
+
+@dataclass(frozen=True)
+class RaftMsg:
+    """One decoded Raft message (any of the four kinds)."""
+
+    kind: int
+    group: int
+    term: int
+    src: int
+    # RequestVote
+    last_log_index: int = 0
+    last_log_term: int = 0
+    # VoteReply
+    granted: bool = False
+    # AppendEntries
+    prev_index: int = 0
+    prev_term: int = 0
+    commit: int = 0
+    sent_ns: int = 0
+    entries: Tuple[Tuple[int, bytes], ...] = ()
+    # AppendReply
+    success: bool = False
+    match_index: int = 0
+
+
+def encode_msg(msg: RaftMsg) -> bytes:
+    head = _HDR.pack(msg.kind, msg.group, msg.term, msg.src)
+    if msg.kind == MSG_VOTE_REQ:
+        return head + _RV.pack(msg.last_log_index, msg.last_log_term)
+    if msg.kind == MSG_VOTE_REPLY:
+        return head + _RVR.pack(1 if msg.granted else 0)
+    if msg.kind == MSG_APPEND:
+        parts = [head, _AE.pack(msg.prev_index, msg.prev_term, msg.commit,
+                                msg.sent_ns, len(msg.entries))]
+        for term, cmd in msg.entries:
+            parts.append(_ENTRY.pack(term, len(cmd)))
+            parts.append(cmd)
+        return b"".join(parts)
+    if msg.kind == MSG_APPEND_REPLY:
+        return head + _AER.pack(1 if msg.success else 0, msg.match_index,
+                                msg.sent_ns)
+    raise SimulationError(f"unknown raft message kind {msg.kind}")
+
+
+def decode_msg(raw: bytes) -> RaftMsg:
+    kind, group, term, src = _HDR.unpack_from(raw, 0)
+    off = _HDR.size
+    if kind == MSG_VOTE_REQ:
+        last_idx, last_term = _RV.unpack_from(raw, off)
+        return RaftMsg(kind, group, term, src, last_log_index=last_idx,
+                       last_log_term=last_term)
+    if kind == MSG_VOTE_REPLY:
+        (granted,) = _RVR.unpack_from(raw, off)
+        return RaftMsg(kind, group, term, src, granted=bool(granted))
+    if kind == MSG_APPEND:
+        prev_idx, prev_term, commit, sent_ns, n = _AE.unpack_from(raw, off)
+        off += _AE.size
+        entries = []
+        for _ in range(n):
+            eterm, elen = _ENTRY.unpack_from(raw, off)
+            off += _ENTRY.size
+            entries.append((eterm, raw[off:off + elen]))
+            off += elen
+        return RaftMsg(kind, group, term, src, prev_index=prev_idx,
+                       prev_term=prev_term, commit=commit, sent_ns=sent_ns,
+                       entries=tuple(entries))
+    if kind == MSG_APPEND_REPLY:
+        success, match, sent_ns = _AER.unpack_from(raw, off)
+        return RaftMsg(kind, group, term, src, success=bool(success),
+                       match_index=match, sent_ns=sent_ns)
+    raise SimulationError(f"unknown raft message kind {kind}")
+
+
+@dataclass(frozen=True)
+class RaftConfig:
+    """Consensus timing (all values in simulated ns)."""
+
+    #: leader AppendEntries (heartbeat) period
+    heartbeat_ns: int = 100_000
+    #: base follower election timeout (no AE from a leader for this long)
+    election_timeout_ns: int = 1_200_000
+    #: uniform jitter added to every armed election timeout
+    election_jitter_ns: int = 400_000
+    #: extra timeout per replica-slot index — staggers the bootstrap
+    #: election so replica 0 normally wins the first term uncontested
+    election_stagger_ns: int = 300_000
+    #: delay before a detection-driven election fires once the failure
+    #: detector declares the known leader dead (plus jitter); short —
+    #: detection already waited out the phi budget
+    fast_election_ns: int = 50_000
+    #: read-lease window granted by a majority-acked heartbeat round,
+    #: measured from the round's *send* time.  Must stay below the
+    #: minimum time a new leader could be elected in (detection bound +
+    #: fast_election_ns) or a deposed leader could serve stale reads.
+    lease_ns: int = 400_000
+    #: max log entries shipped per AppendEntries message
+    max_entries_per_ae: int = 16
+    #: applied entries retained before the compaction stub trims the log
+    compact_threshold: int = 256
+
+    def validate(self) -> None:
+        for name in ("heartbeat_ns", "election_timeout_ns",
+                     "election_jitter_ns", "fast_election_ns", "lease_ns",
+                     "max_entries_per_ae", "compact_threshold"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.election_stagger_ns < 0:
+            raise ValueError("election_stagger_ns must be >= 0")
+        if self.heartbeat_ns >= self.election_timeout_ns:
+            raise ValueError("heartbeat_ns must be below election_timeout_ns")
+
+
+class RaftNode:
+    """One replica's consensus state for one group (pure logic, no I/O).
+
+    The caller owns the clock and the wire: it feeds ``now`` into
+    :meth:`tick` / :meth:`on_message`, drains :attr:`outbox` (a list of
+    ``(dst_rank, raw_bytes)``) after every call, applies the entries
+    :meth:`take_applied` returns, and tells the node about failure-
+    detector verdicts via :meth:`on_peer_dead`.
+    """
+
+    def __init__(self, group: int, rank: int, replicas: List[int],
+                 config: RaftConfig, rng, now: int = 0):
+        if rank not in replicas:
+            raise SimulationError(
+                f"rank {rank} is not a replica of group {group}: {replicas}")
+        config.validate()
+        self.group = group
+        self.rank = rank
+        self.replicas = list(replicas)
+        self.config = config
+        self._rng = rng
+        self.role = FOLLOWER
+        self.term = 0
+        self.voted_for: Optional[int] = None
+        self.leader: Optional[int] = None
+        #: log[i] = (term, command); global index = base_index + 1 + i
+        self.log: List[Tuple[int, bytes]] = []
+        #: index of the last compacted-away entry (0 = nothing discarded)
+        self.base_index = 0
+        self.base_term = 0
+        self.commit_index = 0
+        self.last_applied = 0
+        # leader volatile state
+        self.next_index: Dict[int, int] = {}
+        self.match_index: Dict[int, int] = {}
+        #: send time of the newest AE round each peer has acked (lease)
+        self._ack_round: Dict[int, int] = {}
+        #: send time of the unacked AE to each peer (0 = none in flight).
+        #: One outstanding AE per peer, retransmitted after a heartbeat
+        #: period — the self-clocking that keeps replication traffic
+        #: proportional to progress instead of ping-ponging at wire speed
+        self._inflight: Dict[int, int] = {}
+        self._votes: set = set()
+        self._dead_peers: set = set()
+        #: (dst, raw) messages the caller must put on the wire
+        self.outbox: List[Tuple[int, bytes]] = []
+        self._applied_out: List[Tuple[int, bytes]] = []  # (index, command)
+        self._hb_due = now
+        self._slot = self.replicas.index(rank)
+        self.election_due = now + self._election_delay(bootstrap=True)
+        # counters the store mirrors into obs
+        self.elections_started = 0
+        self.terms_led: List[int] = []
+        self.compactions = 0
+
+    # ------------------------------------------------------------ log access
+    @property
+    def last_index(self) -> int:
+        return self.base_index + len(self.log)
+
+    def term_at(self, index: int) -> int:
+        """Term of ``index`` (0 for the empty prefix)."""
+        if index == self.base_index:
+            return self.base_term
+        if index < self.base_index or index > self.last_index:
+            raise SimulationError(
+                f"g{self.group} r{self.rank}: term_at({index}) outside "
+                f"({self.base_index}, {self.last_index}]")
+        return self.log[index - self.base_index - 1][0]
+
+    def entry_at(self, index: int) -> Tuple[int, bytes]:
+        if index <= self.base_index or index > self.last_index:
+            raise SimulationError(
+                f"g{self.group} r{self.rank}: entry {index} compacted or "
+                f"missing (base {self.base_index}, last {self.last_index})")
+        return self.log[index - self.base_index - 1]
+
+    # ------------------------------------------------------------- timing
+    def _jitter(self) -> int:
+        return int(self._rng.integers(0, self.config.election_jitter_ns))
+
+    def _election_delay(self, bootstrap: bool = False,
+                        fast: bool = False) -> int:
+        if fast:
+            return self.config.fast_election_ns + self._jitter()
+        base = self.config.election_timeout_ns + self._jitter()
+        if bootstrap:
+            base += self._slot * self.config.election_stagger_ns
+        return base
+
+    def _reset_election_timer(self, now: int) -> None:
+        self.election_due = now + self._election_delay()
+
+    # ------------------------------------------------------------- role flips
+    def _become_follower(self, term: int, now: int,
+                         leader: Optional[int] = None) -> None:
+        stepped_down = self.role == LEADER
+        if term > self.term:
+            self.term = term
+            self.voted_for = None
+        self.role = FOLLOWER
+        self.leader = leader
+        self._votes.clear()
+        if stepped_down:
+            self.next_index.clear()
+            self.match_index.clear()
+            self._ack_round.clear()
+        self._reset_election_timer(now)
+
+    def _become_leader(self, now: int) -> None:
+        self.role = LEADER
+        self.leader = self.rank
+        self.terms_led.append(self.term)
+        nxt = self.last_index + 1
+        self.next_index = {p: nxt for p in self.replicas if p != self.rank}
+        self.match_index = {p: 0 for p in self.replicas if p != self.rank}
+        self._ack_round = {p: 0 for p in self.replicas if p != self.rank}
+        self._inflight = {p: 0 for p in self.replicas if p != self.rank}
+        # committing an entry of the *current* term is what lets the
+        # commit index advance over inherited entries — standard no-op
+        self.log.append((self.term, b""))
+        self._hb_due = now  # first AE round goes out on the next tick
+        self.election_due = now + (1 << 62)  # leaders don't time out
+
+    # ------------------------------------------------------------- client API
+    def propose(self, command: bytes, now: int) -> Optional[int]:
+        """Append a client command; returns its log index (leader only)."""
+        if self.role != LEADER:
+            return None
+        self.log.append((self.term, bytes(command)))
+        index = self.last_index
+        # ship immediately instead of waiting out the heartbeat period
+        self._hb_due = now
+        return index
+
+    def lease_valid(self, now: int) -> bool:
+        """True while this leader's majority read-lease covers ``now``.
+
+        The lease extends ``lease_ns`` past the send time of the newest
+        AE round a *majority* (including self, implicitly current) has
+        acked — the classic leader-lease construction, conservative
+        because the send time predates every ack.
+        """
+        if self.role != LEADER:
+            return False
+        if len(self.replicas) == 1:
+            return True
+        rounds = sorted((self._ack_round.get(p, 0)
+                         for p in self.replicas if p != self.rank),
+                        reverse=True)
+        # self counts toward the majority; need majority-1 peer acks
+        need = len(self.replicas) // 2
+        newest_majority_round = rounds[need - 1] if need else now
+        return now < newest_majority_round + self.config.lease_ns
+
+    # ------------------------------------------------------------- detector
+    def on_peer_dead(self, peer: int, now: int) -> None:
+        """Failure-detector verdict: short-circuit the election timeout
+        when the *known leader* dies; remember the death for compaction."""
+        if peer == self.rank or peer not in self.replicas:
+            return
+        self._dead_peers.add(peer)
+        if self.role != LEADER and peer == self.leader:
+            self.leader = None
+            due = now + self._election_delay(fast=True)
+            if due < self.election_due:
+                self.election_due = due
+
+    def on_peer_join(self, peer: int) -> None:
+        self._dead_peers.discard(peer)
+
+    # ------------------------------------------------------------- tick
+    def tick(self, now: int) -> None:
+        """Advance timers: elections for followers, AE rounds for leaders."""
+        if self.role == LEADER:
+            if now >= self._hb_due:
+                self._send_append_round(now)
+                self._hb_due = now + self.config.heartbeat_ns
+            return
+        if now >= self.election_due:
+            self._start_election(now)
+
+    def _start_election(self, now: int) -> None:
+        self.role = CANDIDATE
+        self.term += 1
+        self.voted_for = self.rank
+        self.leader = None
+        self._votes = {self.rank}
+        self.elections_started += 1
+        self._reset_election_timer(now)
+        if self._has_majority():
+            self._become_leader(now)
+            return
+        msg = RaftMsg(MSG_VOTE_REQ, self.group, self.term, self.rank,
+                      last_log_index=self.last_index,
+                      last_log_term=self.term_at(self.last_index))
+        raw = encode_msg(msg)
+        for peer in self.replicas:
+            if peer != self.rank:
+                self.outbox.append((peer, raw))
+
+    def _has_majority(self) -> bool:
+        return len(self._votes) * 2 > len(self.replicas)
+
+    # ------------------------------------------------------------- AE send
+    def _send_append_round(self, now: int) -> None:
+        commit = self.commit_index
+        for peer in self.replicas:
+            if peer == self.rank:
+                continue
+            inflight = self._inflight.get(peer, 0)
+            if inflight and now < inflight + self.config.heartbeat_ns:
+                continue  # one AE outstanding; heartbeat = retransmit timer
+            nxt = self.next_index[peer]
+            prev = nxt - 1
+            if prev < self.base_index:
+                # compaction never outruns live matches; a dead peer can
+                # fall behind the base, but we stop shipping to it anyway
+                self.next_index[peer] = self.base_index + 1
+                prev = self.base_index
+                nxt = prev + 1
+            entries = []
+            idx = nxt
+            while (idx <= self.last_index
+                   and len(entries) < self.config.max_entries_per_ae):
+                entries.append(self.entry_at(idx))
+                idx += 1
+            msg = RaftMsg(MSG_APPEND, self.group, self.term, self.rank,
+                          prev_index=prev, prev_term=self.term_at(prev),
+                          commit=min(commit, prev + len(entries)),
+                          sent_ns=now, entries=tuple(entries))
+            self.outbox.append((peer, encode_msg(msg)))
+            self._inflight[peer] = now
+
+    # ------------------------------------------------------------- receive
+    def on_message(self, msg: RaftMsg, now: int) -> None:
+        if msg.group != self.group:
+            raise SimulationError(
+                f"group {self.group} got message for group {msg.group}")
+        if msg.term > self.term:
+            self._become_follower(msg.term, now,
+                                  leader=(msg.src if msg.kind == MSG_APPEND
+                                          else None))
+        if msg.kind == MSG_VOTE_REQ:
+            self._on_vote_req(msg, now)
+        elif msg.kind == MSG_VOTE_REPLY:
+            self._on_vote_reply(msg, now)
+        elif msg.kind == MSG_APPEND:
+            self._on_append(msg, now)
+        elif msg.kind == MSG_APPEND_REPLY:
+            self._on_append_reply(msg, now)
+        else:
+            raise SimulationError(f"unknown raft message kind {msg.kind}")
+
+    def _on_vote_req(self, msg: RaftMsg, now: int) -> None:
+        up_to_date = (
+            msg.last_log_term > self.term_at(self.last_index)
+            or (msg.last_log_term == self.term_at(self.last_index)
+                and msg.last_log_index >= self.last_index))
+        grant = (msg.term >= self.term
+                 and self.voted_for in (None, msg.src)
+                 and self.role != LEADER
+                 and up_to_date)
+        if grant:
+            self.voted_for = msg.src
+            self._reset_election_timer(now)
+        reply = RaftMsg(MSG_VOTE_REPLY, self.group, self.term, self.rank,
+                        granted=grant)
+        self.outbox.append((msg.src, encode_msg(reply)))
+
+    def _on_vote_reply(self, msg: RaftMsg, now: int) -> None:
+        if self.role != CANDIDATE or msg.term != self.term or not msg.granted:
+            return
+        self._votes.add(msg.src)
+        if self._has_majority():
+            self._become_leader(now)
+
+    def _on_append(self, msg: RaftMsg, now: int) -> None:
+        if msg.term < self.term:
+            reply = RaftMsg(MSG_APPEND_REPLY, self.group, self.term,
+                            self.rank, success=False,
+                            match_index=0, sent_ns=msg.sent_ns)
+            self.outbox.append((msg.src, encode_msg(reply)))
+            return
+        # a current-term AE is the leader asserting itself
+        self._become_follower(msg.term, now, leader=msg.src)
+        ok = (msg.prev_index <= self.last_index
+              and msg.prev_index >= self.base_index
+              and self.term_at(msg.prev_index) == msg.prev_term)
+        match = 0
+        if ok:
+            idx = msg.prev_index
+            for eterm, cmd in msg.entries:
+                idx += 1
+                if idx <= self.last_index:
+                    if self.term_at(idx) == eterm:
+                        continue  # already have it
+                    # conflict: drop the divergent suffix
+                    del self.log[idx - self.base_index - 1:]
+                self.log.append((eterm, cmd))
+            match = msg.prev_index + len(msg.entries)
+            if msg.commit > self.commit_index:
+                self.commit_index = min(msg.commit, self.last_index)
+            self._advance_applied()
+        reply = RaftMsg(MSG_APPEND_REPLY, self.group, self.term, self.rank,
+                        success=ok, match_index=match, sent_ns=msg.sent_ns)
+        self.outbox.append((msg.src, encode_msg(reply)))
+
+    def _on_append_reply(self, msg: RaftMsg, now: int) -> None:
+        if self.role != LEADER or msg.term != self.term:
+            return
+        if msg.src not in self.next_index:
+            return
+        if msg.sent_ns > self._ack_round.get(msg.src, 0):
+            self._ack_round[msg.src] = msg.sent_ns
+        # a reply is *current* only if it answers the outstanding AE;
+        # stale replies (already superseded) must not drive scheduling,
+        # or a deep reply backlog turns into a send storm
+        inflight = self._inflight.get(msg.src, 0)
+        current = bool(inflight) and msg.sent_ns >= inflight
+        if current:
+            self._inflight[msg.src] = 0
+        if not msg.success:
+            if current:
+                # decrement-and-retry conflict resolution
+                self.next_index[msg.src] = max(self.base_index + 1,
+                                               self.next_index[msg.src] - 1)
+                self._hb_due = now
+            return
+        if msg.match_index > self.match_index[msg.src]:
+            self.match_index[msg.src] = msg.match_index
+        self.next_index[msg.src] = max(self.next_index[msg.src],
+                                       msg.match_index + 1)
+        self._advance_commit()
+        if current and self.next_index[msg.src] <= self.last_index:
+            self._hb_due = now  # more to ship: next tick, don't wait
+        self._maybe_compact()
+
+    # ------------------------------------------------------------- commit
+    def _advance_commit(self) -> None:
+        """Majority-match rule, restricted to current-term entries."""
+        for idx in range(self.last_index, self.commit_index, -1):
+            if self.term_at(idx) != self.term:
+                break
+            votes = 1 + sum(1 for p, m in self.match_index.items()
+                            if m >= idx)
+            if votes * 2 > len(self.replicas):
+                self.commit_index = idx
+                break
+        self._advance_applied()
+
+    def _advance_applied(self) -> None:
+        while self.last_applied < self.commit_index:
+            self.last_applied += 1
+            term, cmd = self.entry_at(self.last_applied)
+            if cmd:  # skip leader no-ops
+                self._applied_out.append((self.last_applied, cmd))
+
+    def take_applied(self) -> List[Tuple[int, bytes]]:
+        """Newly committed (index, command) pairs since the last call."""
+        out = self._applied_out
+        self._applied_out = []
+        return out
+
+    # ------------------------------------------------------------- compaction
+    def _maybe_compact(self) -> None:
+        """Snapshot-free compaction stub: trim the applied prefix that
+        every *live* follower has already matched (a dead replica never
+        rejoins its group under the fail-stop model, so its stale
+        match_index must not pin the log forever)."""
+        if self.last_applied - self.base_index < self.config.compact_threshold:
+            return
+        live_matches = [m for p, m in self.match_index.items()
+                        if p not in self._dead_peers]
+        safe = min([self.last_applied] + live_matches)
+        if safe <= self.base_index:
+            return
+        self.compact(safe)
+
+    def compact(self, upto: int) -> int:
+        """Discard log entries ``<= upto`` (bounded by last_applied).
+
+        Returns the number of entries discarded.  Followers call this
+        freely for their own applied prefix; leaders go through
+        :meth:`_maybe_compact` so no live follower is left behind.
+        """
+        upto = min(upto, self.last_applied)
+        if upto <= self.base_index:
+            return 0
+        dropped = upto - self.base_index
+        self.base_term = self.term_at(upto)
+        del self.log[:dropped]
+        self.base_index = upto
+        self.compactions += 1
+        return dropped
+
+    # ------------------------------------------------------------- snapshot
+    def stats(self) -> Dict[str, object]:
+        return {
+            "group": self.group,
+            "role": self.role,
+            "term": self.term,
+            "leader": self.leader,
+            "last_index": self.last_index,
+            "commit_index": self.commit_index,
+            "last_applied": self.last_applied,
+            "base_index": self.base_index,
+            "log_entries": len(self.log),
+            "elections_started": self.elections_started,
+            "terms_led": list(self.terms_led),
+            "compactions": self.compactions,
+        }

@@ -1,0 +1,211 @@
+"""Sharding and the per-shard KV state machine.
+
+``repro.kv`` splits the key space over N independent Raft groups.  The
+key → group mapping is a consistent-hash ring (each group owns
+``vnodes`` points on a 64-bit ring, a key lands on the first point
+clockwise of its hash), so growing the group count moves only ``1/N`` of
+the keys — the property that matters once the store is resharded between
+experiment sweeps.  The group → replica-set mapping is a simple stride
+over the rank space (group ``g`` lives on ranks ``g, g+1, .., g+rf-1``
+mod n), which keeps leaders spread across ranks.
+
+:class:`KVStateMachine` is the deterministic command interpreter every
+replica of a group runs over the committed log: put / cas / delete (and
+the leader's no-ops are filtered out before they get here).  Client
+sessions get exactly-once application: each command carries a
+``(client_id, seq)`` uid, replays of an already-applied seq return the
+retained first result instead of re-executing — that is what makes a
+client retry after a redirect or leader crash safe.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..sim.core import SimulationError
+
+__all__ = ["ShardMap", "KVStateMachine", "Command", "encode_command",
+           "decode_command", "OP_NOOP", "OP_PUT", "OP_CAS", "OP_DELETE",
+           "ST_OK", "ST_MISS", "ST_CAS_FAIL"]
+
+OP_NOOP = 0
+OP_PUT = 1
+OP_CAS = 3
+OP_DELETE = 4
+
+#: state-machine result codes (shared with the client protocol)
+ST_OK = 0
+ST_MISS = 1
+ST_CAS_FAIL = 2
+
+#: op u8, client u32, seq u64, klen u16, vlen u32, elen u32
+_CMD = struct.Struct("<BIQHII")
+
+
+@dataclass(frozen=True)
+class Command:
+    """One replicated state-machine command."""
+
+    op: int
+    client: int
+    seq: int
+    key: bytes
+    value: bytes = b""
+    expected: bytes = b""  # CAS comparand
+
+    @property
+    def uid(self) -> Tuple[int, int]:
+        return (self.client, self.seq)
+
+
+def encode_command(cmd: Command) -> bytes:
+    return (_CMD.pack(cmd.op, cmd.client, cmd.seq, len(cmd.key),
+                      len(cmd.value), len(cmd.expected))
+            + cmd.key + cmd.value + cmd.expected)
+
+
+def decode_command(raw: bytes) -> Command:
+    op, client, seq, klen, vlen, elen = _CMD.unpack_from(raw, 0)
+    off = _CMD.size
+    key = raw[off:off + klen]
+    off += klen
+    value = raw[off:off + vlen]
+    off += vlen
+    expected = raw[off:off + elen]
+    return Command(op=op, client=client, seq=seq, key=key, value=value,
+                   expected=expected)
+
+
+def _ring_hash(data: bytes) -> int:
+    return int.from_bytes(hashlib.sha256(data).digest()[:8], "little")
+
+
+class ShardMap:
+    """Consistent-hash key → group ring plus the replica placement."""
+
+    def __init__(self, n_groups: int, n_ranks: int, rf: int = 3,
+                 vnodes: int = 64):
+        if n_groups < 1:
+            raise SimulationError("need at least one shard group")
+        if not 1 <= rf <= n_ranks:
+            raise SimulationError(
+                f"replication factor {rf} does not fit {n_ranks} ranks")
+        self.n_groups = n_groups
+        self.n_ranks = n_ranks
+        self.rf = rf
+        self.vnodes = vnodes
+        points: List[Tuple[int, int]] = []
+        for g in range(n_groups):
+            for v in range(vnodes):
+                points.append((_ring_hash(f"shard{g}:{v}".encode()), g))
+        points.sort()
+        self._ring_keys = [h for h, _ in points]
+        self._ring_groups = [g for _, g in points]
+
+    def group_of(self, key: bytes) -> int:
+        """The Raft group that owns ``key`` (first ring point clockwise)."""
+        h = _ring_hash(bytes(key))
+        i = bisect.bisect_right(self._ring_keys, h)
+        if i == len(self._ring_keys):
+            i = 0
+        return self._ring_groups[i]
+
+    def replicas(self, group: int) -> List[int]:
+        """Replica ranks for ``group`` (stride placement, leader-spread)."""
+        if not 0 <= group < self.n_groups:
+            raise SimulationError(f"no such group {group}")
+        return [(group + i) % self.n_ranks for i in range(self.rf)]
+
+    def groups_on(self, rank: int) -> List[int]:
+        """Groups that place a replica on ``rank``."""
+        return [g for g in range(self.n_groups)
+                if rank in self.replicas(g)]
+
+    def key_distribution(self, keys) -> Dict[int, int]:
+        """How many of ``keys`` land on each group (balance diagnostics)."""
+        counts = {g: 0 for g in range(self.n_groups)}
+        for key in keys:
+            counts[self.group_of(key)] += 1
+        return counts
+
+
+class KVStateMachine:
+    """Deterministic KV interpreter with exactly-once client sessions."""
+
+    def __init__(self, group: int):
+        self.group = group
+        self.data: Dict[bytes, bytes] = {}
+        self.version: Dict[bytes, int] = {}
+        #: per-client session: newest applied seq and its retained result
+        self._session_seq: Dict[int, int] = {}
+        self._session_result: Dict[int, Tuple[int, bytes]] = {}
+        #: every uid ever applied — the acked-write survival checker reads
+        #: this (bounded by the workload size, not the key space)
+        self.applied_uids: Set[Tuple[int, int]] = set()
+        self.ops_applied = 0
+        self.dup_skips = 0
+
+    def is_duplicate(self, cmd: Command) -> bool:
+        return self._session_seq.get(cmd.client, -1) >= cmd.seq
+
+    def retained_result(self, cmd: Command) -> Optional[Tuple[int, bytes]]:
+        """The first-application result for a replayed session seq (None
+        when the replay is older than the retained newest)."""
+        if self._session_seq.get(cmd.client, -1) == cmd.seq:
+            return self._session_result.get(cmd.client)
+        return None
+
+    def apply(self, cmd: Command) -> Tuple[int, bytes]:
+        """Apply one committed command; returns ``(status, value)``.
+
+        Replays (same client, seq <= newest applied) are not re-executed:
+        the retained result is returned so the caller can still answer
+        the client.
+        """
+        if cmd.op == OP_NOOP:
+            return (ST_OK, b"")
+        if self.is_duplicate(cmd):
+            self.dup_skips += 1
+            return self.retained_result(cmd) or (ST_OK, b"")
+        if cmd.op == OP_PUT:
+            self.data[cmd.key] = cmd.value
+            self.version[cmd.key] = self.version.get(cmd.key, 0) + 1
+            result = (ST_OK, b"")
+        elif cmd.op == OP_CAS:
+            current = self.data.get(cmd.key)
+            if current is not None and current == cmd.expected:
+                self.data[cmd.key] = cmd.value
+                self.version[cmd.key] = self.version.get(cmd.key, 0) + 1
+                result = (ST_OK, b"")
+            elif current is None:
+                result = (ST_MISS, b"")
+            else:
+                result = (ST_CAS_FAIL, current)
+        elif cmd.op == OP_DELETE:
+            existed = self.data.pop(cmd.key, None)
+            if existed is not None:
+                self.version[cmd.key] = self.version.get(cmd.key, 0) + 1
+            result = (ST_OK if existed is not None else ST_MISS, b"")
+        else:
+            raise SimulationError(f"unknown kv op {cmd.op}")
+        self._session_seq[cmd.client] = cmd.seq
+        self._session_result[cmd.client] = result
+        self.applied_uids.add(cmd.uid)
+        self.ops_applied += 1
+        return result
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        return self.data.get(key)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "group": self.group,
+            "keys": len(self.data),
+            "ops_applied": self.ops_applied,
+            "dup_skips": self.dup_skips,
+            "sessions": len(self._session_seq),
+        }

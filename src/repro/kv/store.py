@@ -1,0 +1,518 @@
+"""The per-rank KV server: Raft groups, state machines and the wire.
+
+One :class:`KVNode` runs on every rank (ranks that replicate no group
+still pump the parcel runtime so co-located clients get responses).  All
+KV traffic — Raft AppendEntries/RequestVote rounds, client requests and
+responses — rides the runtime's parcel machinery over
+:class:`~repro.runtime.transport.PhotonTransport`, i.e. Photon PWC eager
+sends surfaced at the target by completion-ledger probes, with the
+rendezvous path kicking in automatically for oversized AE batches.
+
+The server loop is the **single wire writer** for a rank's server side:
+handlers invoked by parcel dispatch only mutate state and enqueue
+outgoing messages (Raft outboxes, the response queue); the loop drains
+them onto the transport.  That keeps the photon endpoint free of
+re-entrant server generators — co-located clients still issue their own
+requests and one-sided reads concurrently, exactly like every other
+multi-process workload in this repo.
+
+One-sided read arm: each replica exposes a registered *slot table* per
+group.  Slots are assigned to keys in committed-log order, so every
+replica of a group assigns identical slot indices, and the leader's
+slots are kept current at apply time.  A client resolves ``key →
+(addr, rkey, slot)`` once via a ``loc`` RPC and afterwards reads the
+value with a raw ``get_pwc`` — the RDMA arm of the RDMA-vs-RPC
+comparison (see PAPERS.md).
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..runtime.actions import ActionRegistry
+from ..runtime.scheduler import Runtime
+from ..runtime.transport import PeerDownError, PhotonTransport
+from ..sim.core import SimulationError
+from .raft import LEADER, RaftConfig, RaftNode, decode_msg
+from .shard import (Command, KVStateMachine, OP_NOOP, ShardMap, ST_MISS,
+                    ST_OK, decode_command)
+
+__all__ = ["KVConfig", "KVNode", "build_kv",
+           "ACT_RAFT", "ACT_REQ", "ACT_RESP",
+           "REQ_WRITE", "REQ_READ", "REQ_LOC",
+           "RESP_OK", "RESP_MISS", "RESP_CAS_FAIL", "RESP_NOT_LEADER",
+           "RESP_NO_LEASE", "RESP_FAIL",
+           "SLOT_HDR", "SLOT_PRESENT", "SLOT_OVERSIZE",
+           "pack_request", "unpack_request", "pack_response",
+           "unpack_response", "pack_loc", "unpack_loc"]
+
+ACT_RAFT = "kv.raft"
+ACT_REQ = "kv.req"
+ACT_RESP = "kv.resp"
+
+REQ_WRITE = 0
+REQ_READ = 1
+REQ_LOC = 2
+
+#: response statuses 0..2 coincide with the state-machine ST_* codes
+RESP_OK = 0
+RESP_MISS = 1
+RESP_CAS_FAIL = 2
+RESP_NOT_LEADER = 3
+RESP_NO_LEASE = 4
+RESP_FAIL = 255
+
+#: request frame: kind u8, client u32, seq u64, group u16
+_REQ = struct.Struct("<BIQH")
+#: response frame: status u8, leader_hint i16, client u32, seq u64, vlen u32
+_RESP = struct.Struct("<BhIQI")
+#: loc payload: leader u16, slot u32, slot_size u32, addr u64, rkey u64
+_LOC = struct.Struct("<HIIQQ")
+#: slot header: version u64, length u32, flags u32
+_SLOT = struct.Struct("<QII")
+SLOT_HDR = _SLOT.size
+SLOT_PRESENT = 1
+SLOT_OVERSIZE = 2
+
+
+def pack_request(kind: int, client: int, seq: int, group: int,
+                 body: bytes) -> bytes:
+    return _REQ.pack(kind, client, seq, group) + body
+
+
+def unpack_request(raw: bytes) -> Tuple[int, int, int, int, bytes]:
+    kind, client, seq, group = _REQ.unpack_from(raw, 0)
+    return kind, client, seq, group, raw[_REQ.size:]
+
+
+def pack_response(status: int, hint: int, client: int, seq: int,
+                  value: bytes = b"") -> bytes:
+    return _RESP.pack(status, hint, client, seq, len(value)) + value
+
+
+def unpack_response(raw: bytes) -> Tuple[int, int, int, int, bytes]:
+    status, hint, client, seq, vlen = _RESP.unpack_from(raw, 0)
+    return status, hint, client, seq, raw[_RESP.size:_RESP.size + vlen]
+
+
+def pack_loc(leader: int, slot: int, slot_size: int, addr: int,
+             rkey: int) -> bytes:
+    return _LOC.pack(leader, slot, slot_size, addr, rkey)
+
+
+def unpack_loc(raw: bytes) -> Tuple[int, int, int, int, int]:
+    return _LOC.unpack_from(raw, 0)
+
+
+@dataclass(frozen=True)
+class KVConfig:
+    """Store-wide configuration (identical on every rank)."""
+
+    #: Raft groups the key ring is split over
+    n_groups: int = 2
+    #: replicas per group
+    rf: int = 3
+    raft: RaftConfig = field(default_factory=RaftConfig)
+    #: bytes per one-sided read slot (header + value capacity)
+    slot_size: int = 160
+    #: slots per group table; keys beyond this stay RPC-only
+    slots_per_group: int = 1024
+    #: host cost charged per applied state-machine command (ns)
+    apply_cost_ns: int = 400
+    #: server-loop idle backoff bounds (ns); the loop doubles from base
+    #: to max while nothing is flowing so quiet stretches don't spin
+    idle_backoff_ns: int = 400
+    idle_backoff_max_ns: int = 12_800
+    #: poll period while this rank's endpoint is crashed (ns)
+    dead_poll_ns: int = 100_000
+
+    def validate(self) -> None:
+        if self.n_groups < 1:
+            raise ValueError("n_groups must be >= 1")
+        if self.rf < 1:
+            raise ValueError("rf must be >= 1")
+        if self.slot_size <= SLOT_HDR:
+            raise ValueError(f"slot_size must exceed the {SLOT_HDR}B header")
+        for name in ("slots_per_group", "apply_cost_ns", "idle_backoff_ns",
+                     "idle_backoff_max_ns", "dead_poll_ns"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        self.raft.validate()
+
+    @property
+    def value_limit(self) -> int:
+        """Largest value the one-sided slot path can serve."""
+        return self.slot_size - SLOT_HDR
+
+
+def register_actions(registry: ActionRegistry) -> None:
+    """Install the KV handler table (same ids on every rank).
+
+    Handlers only mutate node state; all wire writes happen in the
+    server loop (see module docstring).
+    """
+
+    def raft_handler(rt, src, payload):
+        rt.kv.handle_raft(src, payload)
+
+    def req_handler(rt, src, payload):
+        rt.kv.handle_request(src, payload)
+
+    def resp_handler(rt, src, payload):
+        rt.kv.handle_response(src, payload)
+
+    registry.register(ACT_RAFT, raft_handler)
+    registry.register(ACT_REQ, req_handler)
+    registry.register(ACT_RESP, resp_handler)
+
+
+class KVNode:
+    """One rank's slice of the store (server loop + client hub)."""
+
+    def __init__(self, cluster, rank: int, runtime: Runtime, photon,
+                 shard_map: ShardMap, config: Optional[KVConfig] = None):
+        self.config = config or KVConfig()
+        self.config.validate()
+        self.cluster = cluster
+        self.rank = rank
+        self.runtime = runtime
+        self.photon = photon
+        self.shard_map = shard_map
+        self.env = cluster.env
+        self.counters = cluster.scope(rank)
+        #: failure-detector handle (attach via attach_health)
+        self.monitor = None
+        rng_space = cluster.rng.namespace("kv.raft")
+        self.raft: Dict[int, RaftNode] = {}
+        self.machines: Dict[int, KVStateMachine] = {}
+        self.tables: Dict[int, object] = {}       # group -> PhotonBuffer
+        self._slot_of: Dict[int, Dict[bytes, int]] = {}
+        self._next_slot: Dict[int, int] = {}
+        for g in shard_map.groups_on(rank):
+            replicas = shard_map.replicas(g)
+            self.raft[g] = RaftNode(
+                g, rank, replicas, self.config.raft,
+                rng_space.stream(f"g{g}.r{rank}"), now=self.env.now)
+            self.machines[g] = KVStateMachine(g)
+            self.tables[g] = photon.buffer(
+                self.config.slots_per_group * self.config.slot_size)
+            self._slot_of[g] = {}
+            self._next_slot[g] = 0
+        #: leader side: (group, log index) -> (reply rank, client, seq)
+        self._pending: Dict[Tuple[int, int], Tuple[int, int, int]] = {}
+        self._pending_uid: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        #: outgoing (dst, action, payload) drained by the server loop
+        self._tx: Deque[Tuple[int, str, bytes]] = deque()
+        #: client hub: (client, seq) -> (status, hint, value)
+        self.hub: Dict[Tuple[int, int], Tuple[int, int, bytes]] = {}
+        self.running = False
+        self._proc = None
+
+    # ---------------------------------------------------------------- wiring
+    def attach_health(self, monitor) -> None:
+        """Consume the rank's failure detector: leader-death verdicts
+        short-circuit election timeouts, joins clear the dead set."""
+        self.monitor = monitor
+        monitor.on_dead(self._on_peer_dead)
+        monitor.on_join(self._on_peer_join)
+
+    def _on_peer_dead(self, peer: int) -> None:
+        if peer == self.rank or not self.photon.alive:
+            return
+        now = self.env.now
+        for rn in self.raft.values():
+            rn.on_peer_dead(peer, now)
+        self.counters.add("kv.peer_dead_events")
+
+    def _on_peer_join(self, peer: int) -> None:
+        for rn in self.raft.values():
+            rn.on_peer_join(peer)
+
+    def start(self) -> None:
+        """Spawn the server loop (idempotent)."""
+        if self.running:
+            return
+        self.running = True
+        self._proc = self.env.process(self._serve(),
+                                      name=f"kv{self.rank}:serve")
+
+    def stop(self) -> None:
+        self.running = False
+
+    # ------------------------------------------------------------- handlers
+    def handle_raft(self, src: int, payload: bytes) -> None:
+        msg = decode_msg(payload)
+        rn = self.raft.get(msg.group)
+        if rn is None:
+            self.counters.add("kv.misrouted_raft")
+            return
+        was_leader = rn.role == LEADER
+        rn.on_message(msg, self.env.now)
+        self.counters.add("kv.raft_msgs")
+        if was_leader and rn.role != LEADER:
+            self._drop_pending(msg.group)
+
+    def handle_request(self, src: int, payload: bytes) -> None:
+        kind, client, seq, group, body = unpack_request(payload)
+        self.counters.add("kv.requests")
+        rn = self.raft.get(group)
+        if rn is None:
+            hint = self.shard_map.replicas(group)[0]
+            self._respond(src, RESP_NOT_LEADER, hint, client, seq)
+            return
+        if rn.role != LEADER:
+            hint = rn.leader if rn.leader is not None else -1
+            self._respond(src, RESP_NOT_LEADER, hint, client, seq)
+            self.counters.add("kv.redirects")
+            return
+        if kind == REQ_WRITE:
+            self._handle_write(src, client, seq, group, rn, body)
+        elif kind == REQ_READ:
+            self._handle_read(src, client, seq, group, rn, body)
+        elif kind == REQ_LOC:
+            self._handle_loc(src, client, seq, group, rn, body)
+        else:
+            self._respond(src, RESP_FAIL, -1, client, seq)
+
+    def _handle_write(self, src: int, client: int, seq: int, group: int,
+                      rn: RaftNode, body: bytes) -> None:
+        cmd = decode_command(body)
+        sm = self.machines[group]
+        if sm.is_duplicate(cmd):
+            # committed and applied on a previous attempt: answer from the
+            # retained session result — exactly-once despite retries
+            status, value = sm.retained_result(cmd) or (ST_OK, b"")
+            self._respond(src, status, self.rank, client, seq, value)
+            self.counters.add("kv.write_dedups")
+            return
+        uid = cmd.uid
+        if uid in self._pending_uid:
+            # retry of an op still in flight: re-point the reply address,
+            # don't append the command a second time
+            g, index = self._pending_uid[uid]
+            self._pending[(g, index)] = (src, client, seq)
+            return
+        index = rn.propose(body, self.env.now)
+        if index is None:  # leadership lost between the check and here
+            self._respond(src, RESP_NOT_LEADER, -1, client, seq)
+            return
+        self._pending[(group, index)] = (src, client, seq)
+        self._pending_uid[uid] = (group, index)
+        self.counters.add("kv.writes_proposed")
+
+    def _handle_read(self, src: int, client: int, seq: int, group: int,
+                     rn: RaftNode, body: bytes) -> None:
+        if not rn.lease_valid(self.env.now):
+            # no majority-acked heartbeat round inside the lease window:
+            # serving now could violate linearizability during a
+            # partition, so push the client to retry
+            self._respond(src, RESP_NO_LEASE, self.rank, client, seq)
+            self.counters.add("kv.lease_rejects")
+            return
+        (klen,) = struct.unpack_from("<H", body, 0)
+        key = body[2:2 + klen]
+        value = self.machines[group].get(key)
+        if value is None:
+            self._respond(src, RESP_MISS, self.rank, client, seq)
+        else:
+            self._respond(src, RESP_OK, self.rank, client, seq, value)
+        self.counters.add("kv.lease_reads")
+
+    def _handle_loc(self, src: int, client: int, seq: int, group: int,
+                    rn: RaftNode, body: bytes) -> None:
+        (klen,) = struct.unpack_from("<H", body, 0)
+        key = body[2:2 + klen]
+        slot = self._slot_of[group].get(key)
+        if slot is None:
+            self._respond(src, RESP_MISS, self.rank, client, seq)
+            return
+        table = self.tables[group]
+        addr = table.addr + slot * self.config.slot_size
+        self._respond(src, RESP_OK, self.rank, client, seq,
+                      pack_loc(self.rank, slot, self.config.slot_size,
+                               addr, table.rkey))
+        self.counters.add("kv.loc_lookups")
+
+    def handle_response(self, src: int, payload: bytes) -> None:
+        status, hint, client, seq, value = unpack_response(payload)
+        self.hub[(client, seq)] = (status, hint, value)
+
+    def _respond(self, dst: int, status: int, hint: int, client: int,
+                 seq: int, value: bytes = b"") -> None:
+        self._tx.append((dst, ACT_RESP,
+                         pack_response(status, hint, client, seq, value)))
+
+    def _drop_pending(self, group: int) -> None:
+        """Leadership lost: abandon unanswered proposals for the group
+        (clients time out and retry against the new leader; session
+        dedup keeps the retry exactly-once)."""
+        stale = [k for k in self._pending if k[0] == group]
+        for k in stale:
+            del self._pending[k]
+        stale_uids = [u for u, (g, _i) in self._pending_uid.items()
+                      if g == group]
+        for u in stale_uids:
+            del self._pending_uid[u]
+        if stale:
+            self.counters.add("kv.pending_dropped", len(stale))
+
+    # ------------------------------------------------------------- the loop
+    def _serve(self):
+        cfg = self.config
+        backoff = cfg.idle_backoff_ns
+        while self.running:
+            if not self.photon.alive:
+                # fail-stop: a crashed rank neither serves nor ticks
+                yield self.env.timeout(cfg.dead_poll_ns)
+                continue
+            busy = yield from self.runtime.progress()
+            now = self.env.now
+            for rn in self.raft.values():
+                rn.tick(now)
+            applied = yield from self._apply_committed()
+            sent = yield from self._flush()
+            if busy or applied or sent:
+                backoff = cfg.idle_backoff_ns
+            else:
+                yield self.env.timeout(backoff)
+                backoff = min(backoff * 2, cfg.idle_backoff_max_ns)
+
+    def _apply_committed(self) -> int:
+        """Apply newly committed entries; answer pending clients."""
+        applied = 0
+        for g, rn in self.raft.items():
+            sm = self.machines[g]
+            for index, raw in rn.take_applied():
+                cmd = decode_command(raw)
+                status, value = sm.apply(cmd)
+                if cmd.op != OP_NOOP:
+                    self._update_slot(g, cmd, sm)
+                yield self.env.timeout(self.config.apply_cost_ns)
+                applied += 1
+                self.counters.add("kv.applied")
+                who = self._pending.pop((g, index), None)
+                self._pending_uid.pop(cmd.uid, None)
+                if who is not None and rn.role == LEADER:
+                    dst, client, seq = who
+                    self._respond(dst, status, self.rank, client, seq, value)
+        return applied
+
+    def _update_slot(self, group: int, cmd: Command,
+                     sm: KVStateMachine) -> None:
+        """Mirror the applied key into the one-sided slot table.
+
+        Slot indices are assigned in apply order, which is the committed
+        log order — identical on every replica of the group, so a slot
+        resolved against one replica stays valid on all of them.
+        """
+        slots = self._slot_of[group]
+        slot = slots.get(cmd.key)
+        if slot is None:
+            if self._next_slot[group] >= self.config.slots_per_group:
+                self.counters.add("kv.slot_overflow")
+                return  # table full: key stays RPC-only
+            slot = self._next_slot[group]
+            self._next_slot[group] = slot + 1
+            slots[cmd.key] = slot
+        table = self.tables[group]
+        addr = table.addr + slot * self.config.slot_size
+        value = sm.get(cmd.key)
+        version = sm.version.get(cmd.key, 0)
+        if value is None:
+            self.photon.memory.write(addr, _SLOT.pack(version, 0, 0))
+        elif len(value) > self.config.value_limit:
+            self.photon.memory.write(
+                addr, _SLOT.pack(version, 0, SLOT_PRESENT | SLOT_OVERSIZE))
+            self.counters.add("kv.slot_oversize")
+        else:
+            self.photon.memory.write(
+                addr, _SLOT.pack(version, len(value), SLOT_PRESENT) + value)
+
+    def _flush(self):
+        """Drain Raft outboxes and the response queue onto the wire."""
+        sent = 0
+        for g, rn in self.raft.items():
+            if not rn.outbox:
+                continue
+            out, rn.outbox = rn.outbox, []
+            for dst, raw in out:
+                yield from self._ship(dst, ACT_RAFT, raw)
+                sent += 1
+        while self._tx:
+            dst, action, payload = self._tx.popleft()
+            yield from self._ship(dst, action, payload)
+            sent += 1
+        return sent
+
+    def _ship(self, dst: int, action: str, payload: bytes):
+        if self.monitor is not None and self.monitor.is_dead(dst):
+            self.counters.add("kv.drops_to_dead")
+            return
+        try:
+            yield from self.runtime.send(dst, action, payload)
+        except PeerDownError:
+            # breaker open: Raft and clients both tolerate silent loss
+            self.counters.add("kv.breaker_drops")
+
+    # ------------------------------------------------------------- queries
+    def leader_of(self, group: int) -> Optional[int]:
+        rn = self.raft.get(group)
+        return rn.leader if rn is not None else None
+
+    def is_leader(self, group: int) -> bool:
+        rn = self.raft.get(group)
+        return rn is not None and rn.role == LEADER
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-serializable store snapshot (obs report section)."""
+        return {
+            "rank": self.rank,
+            "groups": {str(g): rn.stats() for g, rn in self.raft.items()},
+            "machines": {str(g): sm.stats()
+                         for g, sm in self.machines.items()},
+            "slots_used": {str(g): self._next_slot[g] for g in self.raft},
+            "pending_writes": len(self._pending),
+            "hub_backlog": len(self.hub),
+        }
+
+
+def build_kv(cluster, photons, config: Optional[KVConfig] = None,
+             monitors=None, registry: Optional[ActionRegistry] = None,
+             start: bool = True):
+    """Assemble one :class:`KVNode` per rank over a fresh parcel runtime.
+
+    ``photons`` come from :func:`repro.photon.photon_init`; ``monitors``
+    (optional) from :func:`repro.runtime.health.build_health` — when
+    given, the endpoints, transports and KV nodes all consume the
+    detector (fast-fail, breakers, detection-driven elections).
+    Returns the node list; the shard map is shared via ``nodes[r]
+    .shard_map``.  Nothing is spawned when ``start`` is False.
+    """
+    cfg = config or KVConfig()
+    cfg.validate()
+    if cfg.rf > cluster.n:
+        raise SimulationError(
+            f"replication factor {cfg.rf} needs at least {cfg.rf} ranks "
+            f"(cluster has {cluster.n})")
+    shard_map = ShardMap(cfg.n_groups, cluster.n, rf=cfg.rf)
+    reg = registry if registry is not None else ActionRegistry()
+    register_actions(reg)
+    nodes: List[KVNode] = []
+    for r in range(cluster.n):
+        transport = PhotonTransport(photons[r])
+        runtime = Runtime(r, cluster.env, transport, reg,
+                          counters=cluster.scope(r))
+        node = KVNode(cluster, r, runtime, photons[r], shard_map, cfg)
+        runtime.kv = node
+        if monitors is not None:
+            photons[r].attach_health(monitors[r])
+            transport.attach_health(monitors[r])
+            node.attach_health(monitors[r])
+        nodes.append(node)
+    if start:
+        for node in nodes:
+            node.start()
+    return nodes

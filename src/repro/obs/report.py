@@ -55,26 +55,58 @@ def _span_percentiles(registry: MetricsRegistry,
     return out
 
 
+def _rank_section(entry: Dict[str, object], key: str, obj,
+                  method: str) -> bool:
+    """Fill ``entry[key]`` from ``obj.method()``; report rank death.
+
+    A rank that was crashed mid-run (chaos ``CrashRank``) may be handed
+    to us as ``None`` — callers that keep per-rank lists often null out
+    the slot — or as an endpoint whose volatile state is gone so its
+    stats accessor raises.  Either way the snapshot must not raise: the
+    section becomes ``None`` and the caller marks the rank dead.
+    """
+    if obj is None:
+        entry[key] = None
+        return True
+    try:
+        entry[key] = getattr(obj, method)()
+    except Exception:
+        entry[key] = None
+        return True
+    return False
+
+
 def build_snapshot(cluster, photons=None, comms=None,
                    transports=None) -> Dict[str, object]:
     """One JSON-serializable observability document for a whole cluster.
 
     ``photons``/``comms``/``transports`` are optional per-rank lists (from
     ``photon_init``/``mpi_init``/``build_runtime``); sections are included
-    for whatever is provided.
+    for whatever is provided.  Ranks that died mid-run (chaos crashes:
+    slot is ``None``, endpoint reports ``alive == False``, or its stats
+    raise) are included with ``"dead": true`` rather than raising — their
+    metrics-registry scope is still valid and is always reported.
     """
     registry: MetricsRegistry = cluster.metrics
     ranks: Dict[str, Dict[str, object]] = {}
     for r in range(cluster.n):
         scope = registry.scope(r)
         entry: Dict[str, object] = {"metrics": scope.metrics_snapshot()}
+        dead = False
         if photons is not None:
-            entry["photon"] = photons[r].stats()
-            entry["telemetry"] = photons[r].telemetry()
+            ep = photons[r] if r < len(photons) else None
+            dead |= _rank_section(entry, "photon", ep, "stats")
+            dead |= _rank_section(entry, "telemetry", ep, "telemetry")
+            if ep is not None and not getattr(ep, "alive", True):
+                dead = True
         if comms is not None:
-            entry["mpi"] = comms[r].stats()
+            comm = comms[r] if r < len(comms) else None
+            dead |= _rank_section(entry, "mpi", comm, "stats")
         if transports is not None:
-            entry["transport"] = transports[r].stats()
+            tp = transports[r] if r < len(transports) else None
+            dead |= _rank_section(entry, "transport", tp, "stats")
+        if dead:
+            entry["dead"] = True
         latencies = _span_percentiles(registry, r)
         if latencies:
             entry["op_latency"] = latencies

@@ -1,0 +1,451 @@
+"""repro.kv: Raft core, sharding, sessions, end-to-end store ops.
+
+The Raft protocol properties (single-leader elections, log replication,
+the current-term commit restriction, conflict-suffix repair, read
+leases, compaction) are checked on pure-logic :class:`RaftNode`
+instances driven over a synchronous in-memory bus — instant delivery,
+caller-owned clock, no simulator.  The end-to-end tests then run the
+real store on the simulated fabric through :func:`build_kv` and
+:class:`KVClient`.
+
+The golden-trace guard at the bottom re-asserts the pinned R1/R4/R17
+fingerprints with ``repro.kv`` imported: the tenant must be strictly
+pay-for-what-you-build — importing it consumes no RNG draws and
+schedules nothing.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.experiments import r1_latency, r4_ledger, r17_faults
+from repro.cluster import build_cluster
+from repro.kv import (Command, KVClient, KVConfig, KVStateMachine,
+                      RaftConfig, RaftNode, ShardMap, build_kv,
+                      decode_command, encode_command)
+from repro.kv.raft import (LEADER, MSG_APPEND, MSG_APPEND_REPLY,
+                           MSG_VOTE_REPLY, MSG_VOTE_REQ, RaftMsg,
+                           decode_msg, encode_msg)
+from repro.kv.shard import OP_CAS, OP_PUT, ST_CAS_FAIL, ST_MISS, ST_OK
+from repro.kv.workload import WorkloadStats, ZipfKeys
+from repro.obs.report import build_snapshot
+from repro.photon import photon_init
+from repro.runtime.health import HealthConfig, build_health
+from repro.sim.rng import RngRegistry
+
+from tests.test_determinism_golden import (GOLDEN, _photon_clean_workload,
+                                           _photon_lossy_workload,
+                                           _result_fingerprint,
+                                           _trace_fingerprint)
+
+HB = 50_000
+
+
+# --------------------------------------------------------------------------
+# synchronous bus for pure-logic Raft tests
+# --------------------------------------------------------------------------
+
+class Bus:
+    """Drives a Raft group with instant delivery and a manual clock."""
+
+    def __init__(self, n: int = 3, seed: int = 1, cfg: RaftConfig = None):
+        ns = RngRegistry(seed).namespace("kv.raft.test")
+        cfg = cfg or RaftConfig()
+        self.nodes = {r: RaftNode(0, r, list(range(n)), cfg,
+                                  ns.stream(f"r{r}")) for r in range(n)}
+        self.now = 0
+        self.cut: set = set()  # ranks isolated from the wire
+
+    def deliver(self) -> None:
+        for _ in range(10_000):
+            moved = False
+            for node in self.nodes.values():
+                pending, node.outbox[:] = list(node.outbox), []
+                if node.rank in self.cut:
+                    continue
+                for dst, raw in pending:
+                    if dst in self.cut:
+                        continue
+                    self.nodes[dst].on_message(decode_msg(raw), self.now)
+                    moved = True
+            if not moved:
+                return
+        raise AssertionError("bus did not quiesce")
+
+    def step(self, dt: int = HB) -> None:
+        self.now += dt
+        for node in self.nodes.values():
+            node.tick(self.now)
+        self.deliver()
+
+    def run_until(self, pred, max_steps: int = 400, dt: int = HB) -> None:
+        for _ in range(max_steps):
+            if pred():
+                return
+            self.step(dt)
+        raise AssertionError("predicate never held")
+
+    def leader(self) -> RaftNode:
+        live = [n for n in self.nodes.values()
+                if n.role == LEADER and n.rank not in self.cut]
+        assert len(live) <= 1 or len({n.term for n in live}) == len(live), \
+            "two leaders in one term"
+        return max(live, key=lambda n: n.term) if live else None
+
+    def elect(self) -> RaftNode:
+        self.run_until(lambda: self.leader() is not None)
+        # settle the first heartbeat round so the leader has fresh acks
+        self.step()
+        return self.leader()
+
+
+# --------------------------------------------------------------------------
+# raft: codecs
+# --------------------------------------------------------------------------
+
+def test_raft_message_codecs_roundtrip():
+    msgs = [
+        RaftMsg(MSG_VOTE_REQ, 3, 7, 1, last_log_index=12, last_log_term=6),
+        RaftMsg(MSG_VOTE_REPLY, 3, 7, 2, granted=True),
+        RaftMsg(MSG_APPEND, 0, 9, 0, prev_index=4, prev_term=8, commit=3,
+                sent_ns=123_456, entries=((8, b"alpha"), (9, b""))),
+        RaftMsg(MSG_APPEND_REPLY, 0, 9, 2, success=False, match_index=4,
+                sent_ns=123_456),
+    ]
+    for msg in msgs:
+        assert decode_msg(encode_msg(msg)) == msg
+
+
+# --------------------------------------------------------------------------
+# raft: elections and replication
+# --------------------------------------------------------------------------
+
+def test_bootstrap_elects_exactly_one_leader():
+    bus = Bus(n=3)
+    leader = bus.elect()
+    assert leader.term >= 1
+    assert sum(1 for n in bus.nodes.values() if n.role == LEADER) == 1
+    for n in bus.nodes.values():
+        assert n.leader == leader.rank
+
+
+def test_replication_applies_same_commands_everywhere():
+    bus = Bus(n=3)
+    leader = bus.elect()
+    applied = {r: [] for r in bus.nodes}
+    cmds = [f"cmd{i}".encode() for i in range(5)]
+    for cmd in cmds:
+        assert leader.propose(cmd, bus.now) is not None
+    assert bus.nodes[(leader.rank + 1) % 3].propose(b"x", bus.now) is None
+    bus.run_until(lambda: all(n.last_applied == leader.last_index
+                              for n in bus.nodes.values()))
+    for r, node in bus.nodes.items():
+        applied[r] += [cmd for _idx, cmd in node.take_applied()]
+    # same commands, same order, no-ops filtered out
+    assert all(applied[r] == cmds for r in bus.nodes)
+
+
+def test_catch_up_after_partition_heals():
+    bus = Bus(n=3)
+    leader = bus.elect()
+    straggler = (leader.rank + 1) % 3
+    bus.cut.add(straggler)
+    for i in range(4):
+        leader.propose(f"while-away{i}".encode(), bus.now)
+    bus.run_until(lambda: leader.commit_index == leader.last_index,
+                  max_steps=50)
+    assert bus.nodes[straggler].last_applied < leader.last_applied
+    bus.cut.clear()
+    bus.run_until(lambda: bus.nodes[straggler].last_applied
+                  == leader.last_applied, max_steps=50)
+    assert ([e for e in bus.nodes[straggler].log]
+            == [e for e in leader.log])
+
+
+def test_detection_driven_election_beats_the_timeout():
+    bus = Bus(n=3)
+    leader = bus.elect()
+    victim = leader.rank
+    bus.cut.add(victim)
+    t0 = bus.now
+    for node in bus.nodes.values():
+        if node.rank != victim:
+            node.on_peer_dead(victim, bus.now)
+    bus.run_until(lambda: bus.leader() is not None, dt=25_000)
+    cfg = leader.config
+    fast_bound = cfg.fast_election_ns + cfg.election_jitter_ns + 50_000
+    assert bus.now - t0 <= fast_bound
+    assert bus.now - t0 < cfg.election_timeout_ns
+
+
+def test_lease_granted_by_acked_rounds_and_expires():
+    bus = Bus(n=3)
+    leader = bus.elect()
+    assert leader.lease_valid(bus.now)
+    # silence: peers stop acking, the lease must run out on its own
+    bus.cut.update(r for r in bus.nodes if r != leader.rank)
+    horizon = bus.now + leader.config.lease_ns + leader.config.heartbeat_ns
+    while bus.now <= horizon:
+        bus.step(dt=25_000)
+    assert not leader.lease_valid(bus.now)
+    followers = [n for n in bus.nodes.values() if n.rank != leader.rank]
+    assert not any(f.lease_valid(bus.now) for f in followers)
+
+
+def test_commit_restriction_needs_a_current_term_entry():
+    ns = RngRegistry(7).namespace("kv.raft.test")
+    node = RaftNode(0, 0, [0, 1, 2], RaftConfig(), ns.stream("cr"))
+    node.term = 2
+    node.role = LEADER
+    node.log = [(1, b"inherited")]
+    node.next_index = {1: 2, 2: 2}
+    node.match_index = {1: 1, 2: 1}  # old-term entry matched on a majority
+    node._advance_commit()
+    assert node.commit_index == 0  # majority match alone must not commit
+    node.log.append((2, b""))  # the new leader's no-op
+    node.match_index = {1: 2, 2: 2}
+    node._advance_commit()
+    # committing the current-term no-op carries the inherited entry
+    assert node.commit_index == 2
+
+
+def test_append_truncates_conflicting_suffix():
+    ns = RngRegistry(9).namespace("kv.raft.test")
+    node = RaftNode(0, 1, [0, 1, 2], RaftConfig(), ns.stream("tr"))
+    node.term = 2
+    node.log = [(1, b"a"), (2, b"bogusB"), (2, b"bogusC")]
+    ae = RaftMsg(MSG_APPEND, 0, 3, 0, prev_index=1, prev_term=1, commit=2,
+                 sent_ns=5, entries=((3, b"realB"), (3, b"realC")))
+    node.on_message(ae, now=5)
+    assert node.log == [(1, b"a"), (3, b"realB"), (3, b"realC")]
+    assert node.commit_index == 2
+    reply = decode_msg(node.outbox[-1][1])
+    assert reply.success and reply.match_index == 3
+
+
+def test_compaction_trims_the_applied_prefix():
+    cfg = RaftConfig(compact_threshold=8)
+    bus = Bus(n=3, cfg=cfg)
+    leader = bus.elect()
+    for i in range(30):
+        leader.propose(f"c{i:03d}".encode(), bus.now)
+        bus.step(dt=10_000)
+    bus.run_until(lambda: all(n.last_applied == leader.last_index
+                              for n in bus.nodes.values()))
+    bus.step()
+    assert leader.base_index > 0
+    assert leader.compactions >= 1
+    assert len(leader.log) < 30
+    # compaction must never outrun the live followers
+    assert leader.base_index <= min(leader.match_index.values())
+    follower = bus.nodes[(leader.rank + 1) % 3]
+    dropped = follower.compact(follower.last_applied)
+    assert dropped > 0 and follower.last_index == leader.last_index
+
+
+# --------------------------------------------------------------------------
+# sharding and the state machine
+# --------------------------------------------------------------------------
+
+def test_shard_map_placement_and_balance():
+    sm = ShardMap(n_groups=4, n_ranks=6, rf=3)
+    keys = [f"key:{i}".encode() for i in range(2000)]
+    assert all(sm.group_of(k) == sm.group_of(k) for k in keys[:50])
+    dist = sm.key_distribution(keys)
+    assert sum(dist.values()) == len(keys)
+    assert all(count > 0 for count in dist.values())
+    for g in range(4):
+        reps = sm.replicas(g)
+        assert len(set(reps)) == 3
+        assert all(g in sm.groups_on(r) for r in reps)
+
+
+def test_consistent_hashing_moves_only_to_the_new_group():
+    before = ShardMap(n_groups=4, n_ranks=8, rf=3)
+    after = ShardMap(n_groups=5, n_ranks=8, rf=3)
+    keys = [f"key:{i}".encode() for i in range(2000)]
+    moved = [k for k in keys if before.group_of(k) != after.group_of(k)]
+    assert 0 < len(moved) < len(keys) // 2
+    # the ring property: growing the group count only moves keys *to*
+    # the new group, never between the old ones
+    assert all(after.group_of(k) == 4 for k in moved)
+
+
+def test_command_codec_roundtrip():
+    cmd = Command(op=OP_CAS, client=42, seq=7, key=b"k", value=b"v" * 100,
+                  expected=b"old")
+    assert decode_command(encode_command(cmd)) == cmd
+
+
+def test_state_machine_ops_and_exactly_once_sessions():
+    m = KVStateMachine(0)
+    assert m.apply(Command(OP_PUT, 1, 1, b"k", b"v1")) == (ST_OK, b"")
+    assert m.get(b"k") == b"v1"
+    st, witness = m.apply(Command(OP_CAS, 1, 2, b"k", b"v2",
+                                  expected=b"wrong"))
+    assert (st, witness) == (ST_CAS_FAIL, b"v1")
+    assert m.apply(Command(OP_CAS, 1, 3, b"k", b"v2",
+                           expected=b"v1")) == (ST_OK, b"")
+    assert m.get(b"k") == b"v2"
+    # replay of an applied uid: retained result, no re-execution
+    ops_before = m.ops_applied
+    assert m.apply(Command(OP_PUT, 1, 1, b"k", b"SHOULD-NOT-LAND")) \
+        == (ST_OK, b"")
+    assert m.get(b"k") == b"v2"
+    assert m.ops_applied == ops_before and m.dup_skips == 1
+    assert (1, 3) in m.applied_uids
+
+
+def test_zipf_skew_and_stats_percentiles():
+    rng = RngRegistry(3).stream("zipf")
+    z = ZipfKeys(64, 1.2, rng)
+    draws = [z.sample() for _ in range(4000)]
+    top = max(set(draws), key=draws.count)
+    assert top == z.keys[0]  # rank-0 key dominates under skew
+    assert draws.count(top) > 3 * (len(draws) // 64)
+    stats = WorkloadStats()
+    for i in range(100):
+        stats.record("get", 0, (i + 1) * 1000, ST_OK)
+    assert stats.completed == 100
+    assert stats.pct_us("get", 50) < stats.pct_us("get", 99)
+
+
+# --------------------------------------------------------------------------
+# end to end on the simulated fabric
+# --------------------------------------------------------------------------
+
+def _run_kv(body, n_ranks=3, n_groups=1, seed=21):
+    cl = build_cluster(n_ranks, "ib-fdr", seed=seed)
+    ph = photon_init(cl)
+    monitors = build_health(cl, HealthConfig(period_ns=HB, phi_dead=6.0))
+    nodes = build_kv(cl, ph, KVConfig(n_groups=n_groups,
+                                      rf=min(3, n_ranks)),
+                     monitors=monitors)
+    out = {}
+
+    def driver(env):
+        while not all(any(n.is_leader(g) for n in nodes)
+                      for g in range(n_groups)):
+            yield env.timeout(HB)
+        yield from body(env, cl, nodes, out)
+
+    done = cl.env.process(driver(cl.env), name="kv.test.driver")
+    cl.env.run(until=done)
+    return cl, nodes, out
+
+
+def test_end_to_end_put_get_cas_delete():
+    def body(env, cl, nodes, out):
+        c = KVClient(nodes[0], client_id=1)
+        out["put"] = yield from c.put(b"k1", b"v1")
+        out["get1"] = yield from c.get(b"k1")
+        out["cas_fail"] = yield from c.cas(b"k1", b"wrong", b"v2")
+        out["cas_ok"] = yield from c.cas(b"k1", b"v1", b"v2")
+        out["get2"] = yield from c.get(b"k1")
+        out["del"] = yield from c.delete(b"k1")
+        out["get3"] = yield from c.get(b"k1")
+        out["del_miss"] = yield from c.delete(b"nope")
+
+    _cl, _nodes, out = _run_kv(body)
+    assert out["put"] == ST_OK
+    assert out["get1"] == (ST_OK, b"v1")
+    assert out["cas_fail"] == (ST_CAS_FAIL, b"v1")
+    assert out["cas_ok"] == (ST_OK, b"")
+    assert out["get2"] == (ST_OK, b"v2")
+    assert out["del"] == ST_OK
+    assert out["get3"][0] == ST_MISS
+    assert out["del_miss"] == ST_MISS
+
+
+def test_one_sided_read_path_serves_from_the_slot_table():
+    def body(env, cl, nodes, out):
+        writer = KVClient(nodes[0], client_id=1)
+        reader = KVClient(nodes[-1], client_id=2, read_mode="onesided")
+        yield from writer.put(b"hot", b"payload")
+        out["reads"] = []
+        for _ in range(3):
+            out["reads"].append((yield from reader.get(b"hot")))
+        out["reader"] = reader
+
+    _cl, _nodes, out = _run_kv(body)
+    assert all(r == (ST_OK, b"payload") for r in out["reads"])
+    stats = out["reader"].stats
+    assert stats.onesided_reads == 3
+    assert stats.loc_lookups == 1  # the location is cached after one RPC
+    assert stats.onesided_fallbacks == 0
+
+
+def test_duplicate_seq_is_applied_exactly_once():
+    def body(env, cl, nodes, out):
+        c = KVClient(nodes[0], client_id=5)
+        yield from c.put(b"once", b"first")
+        c.seq -= 1  # replay the same (client, seq) uid
+        out["replay"] = yield from c.put(b"once", b"second")
+        out["read"] = yield from c.get(b"once")
+        yield env.timeout(20 * HB)  # let follower apply loops drain
+
+    _cl, nodes, out = _run_kv(body)
+    assert out["replay"] == ST_OK  # retained first result, not an error
+    assert out["read"] == (ST_OK, b"first")
+    group = nodes[0].shard_map.group_of(b"once")
+    machines = [n.machines[group] for n in nodes
+                if group in n.machines]
+    assert machines
+    for m in machines:
+        assert m.get(b"once") == b"first"
+        assert m.version[b"once"] == 1
+
+
+def test_multi_group_store_spreads_keys():
+    def body(env, cl, nodes, out):
+        c = KVClient(nodes[0], client_id=1)
+        for i in range(24):
+            yield from c.put(f"spread:{i}".encode(), b"x")
+        out["ok"] = True
+
+    _cl, nodes, out = _run_kv(body, n_ranks=4, n_groups=3, seed=23)
+    assert out["ok"]
+    per_group = {g: sum(m.stats()["keys"]
+                        for n in nodes for gg, m in n.machines.items()
+                        if gg == g) for g in range(3)}
+    assert all(count > 0 for count in per_group.values())
+
+
+# --------------------------------------------------------------------------
+# observability: dead ranks in the merged snapshot
+# --------------------------------------------------------------------------
+
+def test_build_snapshot_tolerates_dead_ranks():
+    cl = build_cluster(2, "ib-fdr", seed=31)
+    ph = photon_init(cl)
+    ph[1].crash_local()
+    # a caller that nulls out the crashed slot
+    snap = build_snapshot(cl, photons=[ph[0], None])
+    assert snap["ranks"]["1"]["dead"] is True
+    assert snap["ranks"]["1"]["photon"] is None
+    assert "dead" not in snap["ranks"]["0"]
+    # a caller that passes the crashed endpoint as-is
+    snap2 = build_snapshot(cl, photons=[ph[0], ph[1]])
+    assert snap2["ranks"]["1"]["dead"] is True
+    json.dumps(snap)
+    json.dumps(snap2)
+
+
+# --------------------------------------------------------------------------
+# golden-trace guard: the tenant is pay-for-what-you-build
+# --------------------------------------------------------------------------
+
+def test_golden_fingerprints_survive_kv_import():
+    """With ``repro.kv`` imported (top of this module) but idle, the
+    pinned R1/R4/R17 tables and the clean/lossy photon traces stay bit
+    identical — no RNG draws, no scheduling, no counter writes."""
+    assert _result_fingerprint(r1_latency.run(quick=True)) \
+        == GOLDEN["r1_table"]
+    assert _result_fingerprint(r4_ledger.run(quick=True)) \
+        == GOLDEN["r4_table"]
+    assert _result_fingerprint(r17_faults.run(quick=True)) \
+        == GOLDEN["r17_table"]
+    assert _trace_fingerprint(_photon_clean_workload()) \
+        == GOLDEN["photon_clean_trace"]
+    assert _trace_fingerprint(_photon_lossy_workload()) \
+        == GOLDEN["photon_lossy_trace"]
