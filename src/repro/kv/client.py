@@ -19,12 +19,25 @@ Read paths (the RDMA-vs-RPC comparison axis):
 
 * ``rpc``: a parcel round-trip served by the leader from local state
   under a read lease (no log write, still linearizable — the lease is
-  sized under the phi-accrual detection bound, see DESIGN.md §10).
+  sized under the phi-accrual detection bound and gated behind the
+  Raft §8 current-term barrier, see DESIGN.md §10).
 * ``onesided``: resolve ``key → (leader, addr, rkey, slot)`` once via a
   ``loc`` RPC, then read the slot with a raw ``get_pwc`` — one wire
-  round, zero remote CPU.  Slot headers carry a version + presence
-  flags; a failed or stale read falls back to the RPC path and
-  invalidates the cached location.
+  round, zero remote CPU.  This arm is **relaxed consistency, not
+  linearizable**: a deposed-but-alive leader keeps a live slot table
+  (updated at follower apply lag), and a raw remote read cannot see
+  that leadership moved.  Staleness is *bounded*, not eliminated: a
+  cached location older than ``loc_ttl_ns`` is revalidated in the
+  background (stale-while-revalidate — the triggering read keeps the
+  arm's one-round latency) through the redirect-following RPC path,
+  the server refuses loc requests once its lease lapses (so a deposed
+  leader stops re-confirming its own table and the stale entry is
+  dropped within one refresh), and the slot-header version gives
+  per-key monotonic reads within a session (a version that goes
+  backwards marks the replica stale — fall back, drop the cache).  A
+  crashed leader, absent/oversize slot, or version regression falls
+  back to the authoritative RPC path.  That consistency gap *is* the
+  RDMA-vs-RPC trade-off experiment R20 measures.
 """
 
 from __future__ import annotations
@@ -67,7 +80,8 @@ class KVClient:
 
     def __init__(self, node: KVNode, client_id: int,
                  read_mode: str = "rpc", timeout_ns: int = 2_000_000,
-                 poll_ns: int = 2_000, max_attempts: int = 24):
+                 poll_ns: int = 2_000, max_attempts: int = 24,
+                 loc_ttl_ns: int = 400_000):
         if read_mode not in ("rpc", "onesided"):
             raise ValueError(f"unknown read_mode {read_mode!r}")
         self.node = node
@@ -78,12 +92,21 @@ class KVClient:
         self.timeout_ns = timeout_ns
         self.poll_ns = poll_ns
         self.max_attempts = max_attempts
+        #: one-sided location cache lifetime — bounds how long reads can
+        #: keep targeting a deposed-but-alive leader before a background
+        #: revalidation (refused by lease-less servers) drops the entry
+        self.loc_ttl_ns = loc_ttl_ns
         self.seq = 0
         self.stats = ClientStats()
         #: group -> believed leader rank
         self._leader: Dict[int, int] = {}
-        #: key -> (leader, slot addr, rkey, slot_size) for one-sided reads
-        self._loc: Dict[bytes, Tuple[int, int, int, int]] = {}
+        #: key -> (leader, slot addr, rkey, slot_size, resolved_at_ns)
+        self._loc: Dict[bytes, Tuple[int, int, int, int, int]] = {}
+        #: key -> highest slot version this session has observed; a
+        #: one-sided read below it is a stale replica (monotonic reads)
+        self._seen_ver: Dict[bytes, int] = {}
+        #: keys with a background loc refresh in flight (dedup)
+        self._refreshing: set = set()
         #: every acknowledged mutation: (client, seq, op, key, value) —
         #: the failover checker asserts these survive leader crashes
         self.acked: List[Tuple[int, int, int, bytes, bytes]] = []
@@ -127,7 +150,10 @@ class KVClient:
     # --------------------------------------------------------------- reads
     def get(self, key: bytes):
         """Read (generator).  Returns ``(status, value)`` via the arm
-        selected at construction time."""
+        selected at construction time.  ``rpc`` is linearizable;
+        ``onesided`` is a relaxed read — bounded staleness (location
+        cache TTL + replica apply lag) with per-key monotonic reads in
+        this session, see the module docstring."""
         if self.read_mode == "onesided":
             return (yield from self._get_onesided(key))
         return (yield from self._get_rpc(key))
@@ -147,13 +173,21 @@ class KVClient:
 
     def _get_onesided(self, key: bytes):
         loc = self._loc.get(key)
+        if loc is not None and self.env.now - loc[4] > self.loc_ttl_ns:
+            # stale-while-revalidate: serve this read from the cached
+            # location (keeping the arm's one-wire-round latency) and
+            # re-resolve in the background through the redirect-following
+            # RPC path — the server refuses loc requests once its lease
+            # lapses, so a location pointing at a deposed leader stops
+            # being re-confirmed and gets dropped within one refresh
+            self._refresh_loc(key)
         if loc is None:
             loc = yield from self._resolve_loc(key)
             if loc is None:
                 # unknown key (or leaderless window): authoritative answer
                 # comes from the lease path
                 return (yield from self._get_rpc(key))
-        leader, addr, rkey, slot_size = loc
+        leader, addr, rkey, slot_size, _resolved_at = loc
         self._cid += 1
         cid = self._cid
         try:
@@ -172,6 +206,14 @@ class KVClient:
             return (yield from self._get_rpc(key))
         version, length, flags = _SLOT.unpack_from(
             self.photon.memory.read(self._scratch.addr, _SLOT.size), 0)
+        if version < self._seen_ver.get(key, 0):
+            # versions are assigned in committed-log order, identically
+            # on every replica: seeing one go backwards means this slot
+            # table lags a replica we already read — stale, fall back
+            self._loc.pop(key, None)
+            self._leader.clear()
+            self.stats.onesided_fallbacks += 1
+            return (yield from self._get_rpc(key))
         if flags & SLOT_OVERSIZE or not flags & SLOT_PRESENT:
             # deleted key or value too large for the slot: fall back so
             # the answer is authoritative (slot says nothing about keys
@@ -179,6 +221,7 @@ class KVClient:
             self._loc.pop(key, None)
             self.stats.onesided_fallbacks += 1
             return (yield from self._get_rpc(key))
+        self._seen_ver[key] = version
         value = self.photon.memory.read_bytes(
             self._scratch.addr + _SLOT.size, length)
         self.stats.onesided_reads += 1
@@ -195,9 +238,33 @@ class KVClient:
         if status != ST_OK:
             return None
         leader, _slot, slot_size, addr, rkey = unpack_loc(raw)
-        loc = (leader, addr, rkey, slot_size)
+        loc = (leader, addr, rkey, slot_size, self.env.now)
         self._loc[key] = loc
         return loc
+
+    def _refresh_loc(self, key: bytes) -> None:
+        """Spawn a background re-resolution of ``key``'s location.
+
+        At most one refresh per key is in flight; a refresh that fails
+        (leaderless window, unknown key, deposed leader answering
+        ``RESP_NO_LEASE``) drops the cached location so the next read
+        takes the authoritative RPC path instead of a possibly-stale
+        one-sided read.
+        """
+        if key in self._refreshing:
+            return
+        self._refreshing.add(key)
+
+        def worker():
+            try:
+                fresh = yield from self._resolve_loc(key)
+                if fresh is None:
+                    self._loc.pop(key, None)
+            finally:
+                self._refreshing.discard(key)
+
+        self.env.process(worker(),
+                         name=f"kv.client{self.client_id}.locrefresh")
 
     def _wait_local(self, cid: int):
         """Wait for *our* local completion; requeue other processes'."""
@@ -221,6 +288,7 @@ class KVClient:
         replicas = self.node.shard_map.replicas(group)
         dst = self._leader.get(group, replicas[0])
         fallback = 0
+        redirects = 0
         # leaderless windows (bootstrap, failover) last an election
         # timeout or more: back off exponentially instead of burning the
         # attempt budget at poll speed
@@ -244,11 +312,20 @@ class KVClient:
             status, hint, value = answer
             if status == RESP_NOT_LEADER:
                 self.stats.redirects += 1
-                if hint >= 0 and hint != dst:
+                redirects += 1
+                followed_hint = hint >= 0 and hint != dst
+                if followed_hint:
                     dst = hint
                 else:
                     fallback += 1
                     dst = replicas[fallback % len(replicas)]
+                # one fresh hint is followed for free (the common
+                # steady-state redirect); after that, or with no usable
+                # hint, back off — mid-election the replicas' stale
+                # leader views can bounce a request between each other
+                # at wire speed and burn the whole attempt budget in
+                # less than a leaderless window
+                if not followed_hint or redirects >= 2:
                     yield self.env.timeout(backoff)
                     backoff = min(backoff * 2, 400_000)
                 continue
@@ -270,4 +347,5 @@ class KVClient:
             if self.env.now >= deadline:
                 return None
             yield self.env.timeout(self.poll_ns)
-        return hub.pop(key)
+        status, hint, value, _arrived = hub.pop(key)
+        return status, hint, value

@@ -297,6 +297,8 @@ class RaftNode:
         self.log.append((self.term, b""))
         self._hb_due = now  # first AE round goes out on the next tick
         self.election_due = now + (1 << 62)  # leaders don't time out
+        if len(self.replicas) == 1:
+            self._advance_commit()  # a majority of one: commit in place
 
     # ------------------------------------------------------------- client API
     def propose(self, command: bytes, now: int) -> Optional[int]:
@@ -307,6 +309,9 @@ class RaftNode:
         index = self.last_index
         # ship immediately instead of waiting out the heartbeat period
         self._hb_due = now
+        if len(self.replicas) == 1:
+            self._advance_commit()
+            self._maybe_compact()
         return index
 
     def lease_valid(self, now: int) -> bool:
@@ -314,8 +319,14 @@ class RaftNode:
 
         The lease extends ``lease_ns`` past the send time of the newest
         AE round a *majority* (including self, implicitly current) has
-        acked — the classic leader-lease construction, conservative
-        because the send time predates every ack.
+        *successfully* acked — the classic leader-lease construction,
+        conservative because the send time predates every ack.  Rejected
+        AEs (log-mismatch replies during conflict repair) do not extend
+        the lease: they prove liveness, not that this leader's log is
+        the one the follower agrees on.
+
+        This is only the *timing* half of read safety; the *log* half is
+        :meth:`read_barrier_ok` — both must hold before a local read.
         """
         if self.role != LEADER:
             return False
@@ -328,6 +339,21 @@ class RaftNode:
         need = len(self.replicas) // 2
         newest_majority_round = rounds[need - 1] if need else now
         return now < newest_majority_round + self.config.lease_ns
+
+    def read_barrier_ok(self) -> bool:
+        """Raft §8 leader-read barrier: local reads are safe only once
+        this leader has *committed an entry of its own term* (the no-op
+        appended on election) and applied everything up to it.
+
+        A freshly elected leader can hold a valid lease while its
+        commit/applied state still lags writes the previous leader
+        acknowledged; until the current-term no-op commits — which by
+        the Log Matching property forces the whole inherited prefix in —
+        answering from local state could serve a stale read.
+        """
+        return (self.term_at(self.commit_index) == self.term
+                and self.last_applied >= self.commit_index
+                and not self._applied_out)
 
     # ------------------------------------------------------------- detector
     def on_peer_dead(self, peer: int, now: int) -> None:
@@ -487,8 +513,6 @@ class RaftNode:
             return
         if msg.src not in self.next_index:
             return
-        if msg.sent_ns > self._ack_round.get(msg.src, 0):
-            self._ack_round[msg.src] = msg.sent_ns
         # a reply is *current* only if it answers the outstanding AE;
         # stale replies (already superseded) must not drive scheduling,
         # or a deep reply backlog turns into a send storm
@@ -503,6 +527,12 @@ class RaftNode:
                                                self.next_index[msg.src] - 1)
                 self._hb_due = now
             return
+        # only a *successful* ack extends the lease: a log-mismatch
+        # reply proves the peer is alive, not that it follows this log —
+        # counting it would let a conflict-repairing new leader serve
+        # reads from a state machine missing the old leader's commits
+        if msg.sent_ns > self._ack_round.get(msg.src, 0):
+            self._ack_round[msg.src] = msg.sent_ns
         if msg.match_index > self.match_index[msg.src]:
             self.match_index[msg.src] = msg.match_index
         self.next_index[msg.src] = max(self.next_index[msg.src],

@@ -128,6 +128,11 @@ class KVConfig:
     idle_backoff_max_ns: int = 12_800
     #: poll period while this rank's endpoint is crashed (ns)
     dead_poll_ns: int = 100_000
+    #: response-hub entries unclaimed for this long are garbage-collected
+    #: (late replies to clients that gave up); must comfortably exceed
+    #: the largest client per-attempt timeout or a slow client's answer
+    #: could be swept while it still polls
+    hub_ttl_ns: int = 10_000_000
 
     def validate(self) -> None:
         if self.n_groups < 1:
@@ -137,7 +142,7 @@ class KVConfig:
         if self.slot_size <= SLOT_HDR:
             raise ValueError(f"slot_size must exceed the {SLOT_HDR}B header")
         for name in ("slots_per_group", "apply_cost_ns", "idle_backoff_ns",
-                     "idle_backoff_max_ns", "dead_poll_ns"):
+                     "idle_backoff_max_ns", "dead_poll_ns", "hub_ttl_ns"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
         self.raft.validate()
@@ -206,8 +211,11 @@ class KVNode:
         self._pending_uid: Dict[Tuple[int, int], Tuple[int, int]] = {}
         #: outgoing (dst, action, payload) drained by the server loop
         self._tx: Deque[Tuple[int, str, bytes]] = deque()
-        #: client hub: (client, seq) -> (status, hint, value)
-        self.hub: Dict[Tuple[int, int], Tuple[int, int, bytes]] = {}
+        #: client hub: (client, seq) -> (status, hint, value, arrived_ns);
+        #: entries a client never claims (it gave up, or a retry already
+        #: completed) are swept once they outlive ``hub_ttl_ns``
+        self.hub: Dict[Tuple[int, int], Tuple[int, int, bytes, int]] = {}
+        self._hub_gc_due = 0
         self.running = False
         self._proc = None
 
@@ -312,6 +320,14 @@ class KVNode:
             self._respond(src, RESP_NO_LEASE, self.rank, client, seq)
             self.counters.add("kv.lease_rejects")
             return
+        if not rn.read_barrier_ok():
+            # lease timing alone is not enough right after an election:
+            # until this leader's own-term no-op is committed *and* the
+            # state machine has caught up to commit_index, local state
+            # may lag writes the previous leader acknowledged (Raft §8)
+            self._respond(src, RESP_NO_LEASE, self.rank, client, seq)
+            self.counters.add("kv.read_barrier_rejects")
+            return
         (klen,) = struct.unpack_from("<H", body, 0)
         key = body[2:2 + klen]
         value = self.machines[group].get(key)
@@ -323,6 +339,13 @@ class KVNode:
 
     def _handle_loc(self, src: int, client: int, seq: int, group: int,
                     rn: RaftNode, body: bytes) -> None:
+        if not (rn.lease_valid(self.env.now) and rn.read_barrier_ok()):
+            # a deposed-but-alive leader must stop re-confirming its own
+            # slot locations once its lease lapses, or clients would
+            # keep renewing one-sided reads against its lagging table
+            self._respond(src, RESP_NO_LEASE, self.rank, client, seq)
+            self.counters.add("kv.loc_lease_rejects")
+            return
         (klen,) = struct.unpack_from("<H", body, 0)
         key = body[2:2 + klen]
         slot = self._slot_of[group].get(key)
@@ -338,7 +361,7 @@ class KVNode:
 
     def handle_response(self, src: int, payload: bytes) -> None:
         status, hint, client, seq, value = unpack_response(payload)
-        self.hub[(client, seq)] = (status, hint, value)
+        self.hub[(client, seq)] = (status, hint, value, self.env.now)
 
     def _respond(self, dst: int, status: int, hint: int, client: int,
                  seq: int, value: bytes = b"") -> None:
@@ -374,11 +397,30 @@ class KVNode:
                 rn.tick(now)
             applied = yield from self._apply_committed()
             sent = yield from self._flush()
+            if now >= self._hub_gc_due:
+                self._gc_hub(now)
             if busy or applied or sent:
                 backoff = cfg.idle_backoff_ns
             else:
                 yield self.env.timeout(backoff)
                 backoff = min(backoff * 2, cfg.idle_backoff_max_ns)
+
+    def _gc_hub(self, now: int) -> None:
+        """Sweep unclaimed responses older than ``hub_ttl_ns``.
+
+        A client that exhausts its attempts stops polling its
+        ``(client, seq)`` key, and a retry that already completed leaves
+        the duplicate answer behind — without a sweep those entries
+        accumulate for the life of the run (an unbounded leak under
+        open-loop load, visible only as ``hub_backlog``).
+        """
+        ttl = self.config.hub_ttl_ns
+        stale = [k for k, v in self.hub.items() if now - v[3] > ttl]
+        for k in stale:
+            del self.hub[k]
+        if stale:
+            self.counters.add("kv.hub_expired", len(stale))
+        self._hub_gc_due = now + ttl
 
     def _apply_committed(self) -> int:
         """Apply newly committed entries; answer pending clients."""

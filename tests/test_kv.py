@@ -192,6 +192,74 @@ def test_lease_granted_by_acked_rounds_and_expires():
     assert not any(f.lease_valid(bus.now) for f in followers)
 
 
+def test_failed_append_replies_do_not_extend_the_lease():
+    """A log-mismatch (success=False) AE reply proves the peer is alive,
+    not that it follows this leader's log — it must not feed the lease,
+    or a conflict-repairing new leader could serve stale reads."""
+    ns = RngRegistry(11).namespace("kv.raft.test")
+    node = RaftNode(0, 0, [0, 1, 2], RaftConfig(), ns.stream("lease"))
+    node.term = 2
+    node.role = LEADER
+    node.next_index = {1: 1, 2: 1}
+    node.match_index = {1: 0, 2: 0}
+    node._ack_round = {1: 0, 2: 0}
+    t = 1_000_000
+    node._inflight = {1: t, 2: t}
+    nack = RaftMsg(MSG_APPEND_REPLY, 0, 2, 1, success=False,
+                   match_index=0, sent_ns=t)
+    node.on_message(nack, now=t)
+    assert node._ack_round[1] == 0
+    assert not node.lease_valid(t + 1)
+    ack = RaftMsg(MSG_APPEND_REPLY, 0, 2, 2, success=True,
+                  match_index=0, sent_ns=t)
+    node.on_message(ack, now=t)
+    assert node._ack_round[2] == t
+    assert node.lease_valid(t + 1)  # self + one successful ack = majority
+
+
+def test_read_barrier_requires_current_term_commit_and_apply():
+    """Raft §8: a new leader must not answer reads until an entry of its
+    own term is committed *and* the applied output is drained — before
+    that its state machine may lag the old leader's acked writes."""
+    ns = RngRegistry(13).namespace("kv.raft.test")
+    node = RaftNode(0, 0, [0, 1, 2], RaftConfig(), ns.stream("rb"))
+    node.term = 2
+    node.role = LEADER
+    node.log = [(1, b"inherited")]
+    node.next_index = {1: 2, 2: 2}
+    node.match_index = {1: 1, 2: 1}
+    node._advance_commit()
+    assert node.commit_index == 0
+    assert not node.read_barrier_ok()  # nothing of term 2 committed yet
+    node.log.append((2, b""))  # the election no-op
+    node.match_index = {1: 2, 2: 2}
+    node._advance_commit()
+    assert node.commit_index == 2
+    assert not node.read_barrier_ok()  # applied entries not drained yet
+    node.take_applied()
+    assert node.read_barrier_ok()
+
+
+def test_elected_leader_passes_the_read_barrier():
+    bus = Bus(n=3)
+    leader = bus.elect()
+    leader.take_applied()
+    assert leader.lease_valid(bus.now)
+    assert leader.read_barrier_ok()
+
+
+def test_single_replica_group_commits_without_peers():
+    ns = RngRegistry(15).namespace("kv.raft.test")
+    node = RaftNode(0, 0, [0], RaftConfig(), ns.stream("solo"))
+    node.tick(node.election_due)  # immediate uncontested self-election
+    assert node.role == LEADER
+    assert node.commit_index == node.last_index  # no-op committed solo
+    idx = node.propose(b"solo-cmd", node.election_due)
+    assert idx is not None and node.commit_index == idx
+    assert [cmd for _i, cmd in node.take_applied()] == [b"solo-cmd"]
+    assert node.read_barrier_ok()
+
+
 def test_commit_restriction_needs_a_current_term_entry():
     ns = RngRegistry(7).namespace("kv.raft.test")
     node = RaftNode(0, 0, [0, 1, 2], RaftConfig(), ns.stream("cr"))
@@ -409,6 +477,122 @@ def test_multi_group_store_spreads_keys():
                         for n in nodes for gg, m in n.machines.items()
                         if gg == g) for g in range(3)}
     assert all(count > 0 for count in per_group.values())
+
+
+def test_onesided_loc_cache_revalidates_in_the_background():
+    def body(env, cl, nodes, out):
+        writer = KVClient(nodes[0], client_id=1)
+        reader = KVClient(nodes[-1], client_id=2, read_mode="onesided",
+                          loc_ttl_ns=1)
+        yield from writer.put(b"ttl", b"v")
+        out["r1"] = yield from reader.get(b"ttl")
+        yield env.timeout(10)
+        # the cached loc is past its TTL: this read is still served
+        # one-sided (stale-while-revalidate) and kicks off a refresh
+        out["r2"] = yield from reader.get(b"ttl")
+        yield env.timeout(200_000)  # let the background refresh land
+        out["refreshed_at"] = reader._loc[b"ttl"][4]
+        out["stats"] = reader.stats
+        out["refreshing"] = set(reader._refreshing)
+
+    _cl, _nodes, out = _run_kv(body)
+    assert out["r1"] == (ST_OK, b"v") and out["r2"] == (ST_OK, b"v")
+    # the expired location was re-resolved through the RPC path — what
+    # bounds staleness against a deposed-but-alive leader — without
+    # putting the loc round-trip on the read's latency path
+    assert out["stats"].loc_lookups == 2
+    assert out["stats"].onesided_reads == 2
+    assert out["refreshed_at"] > 0 and out["refreshing"] == set()
+
+
+def test_onesided_version_regression_falls_back_to_rpc():
+    def body(env, cl, nodes, out):
+        writer = KVClient(nodes[0], client_id=1)
+        reader = KVClient(nodes[-1], client_id=2, read_mode="onesided")
+        yield from writer.put(b"mono", b"v1")
+        out["r1"] = yield from reader.get(b"mono")
+        # pretend the session already observed a newer version than the
+        # slot carries (what reading a lagging replica looks like): the
+        # monotonic-reads guard must refuse the one-sided value
+        reader._seen_ver[b"mono"] = 99
+        out["r2"] = yield from reader.get(b"mono")
+        out["stats"] = reader.stats
+
+    _cl, _nodes, out = _run_kv(body)
+    assert out["r1"] == (ST_OK, b"v1")
+    assert out["r2"] == (ST_OK, b"v1")  # authoritative RPC answer
+    assert out["stats"].onesided_fallbacks == 1
+    assert out["stats"].rpc_reads == 1
+
+
+def test_hub_gc_sweeps_unclaimed_responses():
+    from repro.kv.store import pack_response
+
+    def body(env, cl, nodes, out):
+        c = KVClient(nodes[0], client_id=9)
+        yield from c.put(b"gc", b"v")
+        # a response no client will ever claim — e.g. a duplicate answer
+        # to a retried attempt that already completed
+        nodes[0].handle_response(0, pack_response(0, 0, 999, 1, b"zombie"))
+        assert (999, 1) in nodes[0].hub
+        yield env.timeout(3 * nodes[0].config.hub_ttl_ns)
+        out["backlog"] = dict(nodes[0].hub)
+
+    _cl, _nodes, out = _run_kv(body)
+    assert (999, 1) not in out["backlog"]
+    assert out["backlog"] == {}
+
+
+def test_redirect_bounce_backs_off_instead_of_burning_attempts():
+    """Two replicas whose leader hints point at each other must not eat
+    the whole attempt budget at wire speed: after the first followed
+    hint every further redirect pays the same exponential backoff as
+    the hint-less path, so the retry loop outlives an election."""
+    from repro.kv.store import RESP_FAIL, RESP_NOT_LEADER
+
+    cl = build_cluster(2, "ib-fdr", seed=41)
+    env = cl.env
+    hub = {}
+    sends = {"n": 0}
+
+    class _Runtime:
+        @staticmethod
+        def send(dst, action, payload):
+            sends["n"] += 1
+            from repro.kv.store import unpack_request
+            _kind, client, seq, _group, _body = unpack_request(payload)
+            hub[(client, seq)] = (RESP_NOT_LEADER, 1 - dst, b"", env.now)
+            yield env.timeout(50)
+
+    class _Photon:
+        @staticmethod
+        def buffer(size):
+            return type("B", (), {"addr": 0})()
+
+    node = type("N", (), {})()
+    node.env = env
+    node.hub = hub
+    node.runtime = _Runtime()
+    node.photon = _Photon()
+    node.config = type("C", (), {"slot_size": 160})()
+    node.shard_map = ShardMap(1, 2, rf=2)
+
+    c = KVClient(node, client_id=1)
+    out = {}
+
+    def driver(e):
+        t0 = e.now
+        out["result"] = yield from c._get_rpc(b"bounce")
+        out["elapsed"] = e.now - t0
+
+    done = env.process(driver(env), name="kv.test.bounce")
+    env.run(until=done)
+    assert out["result"][0] == RESP_FAIL
+    assert c.stats.redirects == c.max_attempts
+    assert sends["n"] == c.max_attempts
+    # without backoff 24 wire-speed hops take ~1 µs; with it the loop
+    # spans well over a millisecond — longer than a leaderless window
+    assert out["elapsed"] >= 1_000_000
 
 
 # --------------------------------------------------------------------------
