@@ -1,0 +1,19 @@
+"""Benchmark R21 — snapshot compaction, restart rejoin, live shard move.
+
+Runs the reconstructed chaos experiment in quick mode under
+pytest-benchmark and asserts its qualitative shape checks (zero acked
+loss on every final-owner replica, restart + partitioned-follower
+rejoin via InstallSnapshot, bounded retained logs, epoch-flipped live
+move invisible in the ack ledger).
+"""
+
+from repro.bench.experiments import r21_snapshots
+
+
+def test_r21_snapshots(benchmark):
+    result = benchmark.pedantic(r21_snapshots.run, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.all_checks_pass, \
+        f"shape checks failed: {result.failed_checks()}"

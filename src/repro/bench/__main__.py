@@ -27,9 +27,9 @@ from .experiments import ALL
 
 #: fast, representative subset for CI: a latency microbench, the
 #: registration-cache checks (incl. the pin-leak balance), a fabric
-#: validation, the fault-domain sweep, and the KV serving + failover
-#: tenant run
-SMOKE = ["r1", "r6", "r14", "r17", "r20"]
+#: validation, the fault-domain sweep, the KV serving + failover tenant
+#: run, and the KV snapshot/restart/live-move chaos run
+SMOKE = ["r1", "r6", "r14", "r17", "r20", "r21"]
 
 #: median host wall time of ``--smoke`` on the reference machine *before*
 #: the hot-path overhaul (zero-copy payloads, Timeout recycling, clean-

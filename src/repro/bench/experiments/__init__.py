@@ -26,6 +26,7 @@ from . import (
     r18_walltime,
     r19_chaos,
     r20_kvstore,
+    r21_snapshots,
 )
 
 ALL = {
@@ -49,6 +50,7 @@ ALL = {
     "r18": r18_walltime,
     "r19": r19_chaos,
     "r20": r20_kvstore,
+    "r21": r21_snapshots,
 }
 
 __all__ = ["ALL"] + [f"r{i}_{n}" for i, n in []]

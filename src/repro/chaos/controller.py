@@ -56,15 +56,23 @@ class ChaosController:
         Optional list of :class:`~repro.runtime.health.HealthMonitor`;
         when present the victim's detector is halted across the crash
         and resumed (new incarnation) at restart.
+    kv:
+        Optional list of :class:`~repro.kv.store.KVNode`; when present a
+        crash drops the victim's replica state (``on_crash``) and a
+        restart reseeds it empty (``reseed``) so it rejoins its groups
+        via Raft snapshot transfer rather than resurrecting with
+        pre-crash volatile state.
     """
 
     def __init__(self, cluster, schedule: FaultSchedule,
                  photon: Optional[List] = None,
-                 monitors: Optional[List] = None):
+                 monitors: Optional[List] = None,
+                 kv: Optional[List] = None):
         self.cluster = cluster
         self.schedule = schedule
         self.photon = photon
         self.monitors = monitors
+        self.kv = kv
         self.env = cluster.env
         self.tracer = cluster.tracer
         #: fabric-scoped: fault injection is infrastructure, not rank work
@@ -131,6 +139,8 @@ class ChaosController:
         if self.photon is not None:
             self.photon[rank].crash_local()
         self.cluster[rank].nic.power_off()
+        if self.kv is not None:
+            self.kv[rank].on_crash()
         self.counters.add("chaos.crashes")
         self.tracer.log(self.env.now, "chaos.crash", rank=rank)
 
@@ -143,6 +153,8 @@ class ChaosController:
             yield from self.photon[rank].rejoin()
         if self.monitors is not None:
             self.monitors[rank].resume()
+        if self.kv is not None:
+            self.kv[rank].reseed()
         self._crashed.discard(rank)
         self.counters.add("chaos.restarts")
         self.tracer.log(self.env.now, "chaos.restart", rank=rank)

@@ -13,6 +13,10 @@ the four properties the fault model promises (see DESIGN.md):
   machine (no closed→half-open, no half-open→half-open, ...).
 - **Membership monotonicity** — a membership view's version only moves
   forward, and a DEAD rank only returns via a higher incarnation.
+- **Bounded logs** — snapshot compaction must keep every Raft replica's
+  retained log within ``compact_threshold + compact_margin`` applied
+  entries, even with laggards or partitioned peers (that is the whole
+  point of trimming past them and streaming snapshots instead).
 
 All checkers raise :class:`InvariantViolation` (an ``AssertionError``
 subclass, so plain pytest asserts and CI greps both catch it).
@@ -28,7 +32,7 @@ from ..runtime.health import ALIVE, DEAD
 
 __all__ = ["InvariantViolation", "check_no_duplicate_delivery",
            "check_reg_balance", "check_breaker_legality",
-           "check_membership_monotonic", "check_all"]
+           "check_membership_monotonic", "check_log_bounded", "check_all"]
 
 
 class InvariantViolation(AssertionError):
@@ -111,9 +115,37 @@ def check_membership_monotonic(monitor) -> None:
             f"{prev_version}")
 
 
+def check_log_bounded(kv_nodes: Iterable, slack: int = 0) -> None:
+    """Every snapshot-armed Raft replica's *applied* suffix is bounded.
+
+    ``kv_nodes``: anything with a ``raft`` mapping of group id to
+    :class:`~repro.kv.raft.RaftNode` (duck-typed so this module needs no
+    kv import).  A replica may briefly hold ``compact_threshold`` applied
+    entries before its snapshot fires plus the ``compact_margin`` it
+    deliberately retains behind the snapshot point, hence the bound
+    ``threshold + margin`` (+ caller ``slack`` for mid-tick grace).
+    Replicas with no ``snapshot_fn`` armed are skipped — without a
+    serializer compaction is disabled by design.
+    """
+    for node in kv_nodes:
+        for group, rn in node.raft.items():
+            if rn.snapshot_fn is None:
+                continue
+            retained = rn.last_applied - rn.base_index
+            bound = (rn.config.compact_threshold
+                     + rn.config.compact_margin + slack)
+            if retained > bound:
+                raise InvariantViolation(
+                    f"group {group} replica rank {getattr(node, 'rank', '?')}"
+                    f" retains {retained} applied entries "
+                    f"(base_index {rn.base_index}, last_applied "
+                    f"{rn.last_applied}) > bound {bound}")
+
+
 def check_all(cluster, delivered: Iterable = (),
               transports: Sequence = (),
-              monitors: Sequence = ()) -> None:
+              monitors: Sequence = (),
+              kv_nodes: Sequence = ()) -> None:
     """Run every applicable checker; raises on the first violation."""
     check_no_duplicate_delivery(delivered)
     check_reg_balance(cluster)
@@ -121,3 +153,5 @@ def check_all(cluster, delivered: Iterable = (),
         check_breaker_legality(tp.breaker_log)
     for mon in monitors:
         check_membership_monotonic(mon)
+    if kv_nodes:
+        check_log_bounded(kv_nodes)

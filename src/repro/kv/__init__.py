@@ -17,11 +17,13 @@ and started.
 """
 
 from .client import ClientStats, KVClient
+from .move import MoveError, move_group
 from .raft import (CANDIDATE, FOLLOWER, LEADER, RaftConfig, RaftMsg,
                    RaftNode, decode_msg, encode_msg)
-from .shard import (Command, KVStateMachine, OP_CAS, OP_DELETE, OP_NOOP,
-                    OP_PUT, ShardMap, ST_CAS_FAIL, ST_MISS, ST_OK,
-                    decode_command, encode_command)
+from .shard import (CodecError, Command, KVStateMachine, OP_CAS, OP_DELETE,
+                    OP_MERGE, OP_NOOP, OP_PURGE, OP_PUT, OP_SEAL, RingView,
+                    ShardMap, ST_CAS_FAIL, ST_MISS, ST_OK, ST_SEALED,
+                    decode_command, encode_command, snapshot_keys)
 from .store import KVConfig, KVNode, build_kv
 from .workload import (WorkloadStats, ZipfKeys, closed_loop, open_loop,
                        value_for)
@@ -29,11 +31,13 @@ from .workload import (WorkloadStats, ZipfKeys, closed_loop, open_loop,
 __all__ = [
     "FOLLOWER", "CANDIDATE", "LEADER",
     "RaftConfig", "RaftMsg", "RaftNode", "encode_msg", "decode_msg",
-    "ShardMap", "KVStateMachine", "Command", "encode_command",
-    "decode_command",
+    "ShardMap", "RingView", "KVStateMachine", "Command", "encode_command",
+    "decode_command", "snapshot_keys", "CodecError",
     "OP_NOOP", "OP_PUT", "OP_CAS", "OP_DELETE",
-    "ST_OK", "ST_MISS", "ST_CAS_FAIL",
+    "OP_SEAL", "OP_MERGE", "OP_PURGE",
+    "ST_OK", "ST_MISS", "ST_CAS_FAIL", "ST_SEALED",
     "KVConfig", "KVNode", "build_kv",
     "KVClient", "ClientStats",
     "ZipfKeys", "WorkloadStats", "closed_loop", "open_loop", "value_for",
+    "move_group", "MoveError",
 ]

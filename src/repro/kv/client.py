@@ -47,10 +47,10 @@ from typing import Dict, List, Tuple
 
 from .shard import (Command, OP_CAS, OP_DELETE, OP_PUT, ST_CAS_FAIL,
                     ST_MISS, ST_OK, encode_command)
-from .store import (ACT_REQ, KVNode, REQ_LOC, REQ_READ, REQ_WRITE,
+from .store import (ACT_REQ, KVNode, REQ_LOC, REQ_READ, REQ_SNAP, REQ_WRITE,
                     RESP_FAIL, RESP_NO_LEASE, RESP_NOT_LEADER,
-                    SLOT_OVERSIZE, SLOT_PRESENT, _SLOT, pack_request,
-                    unpack_loc)
+                    RESP_WRONG_EPOCH, SLOT_OVERSIZE, SLOT_PRESENT, _SLOT,
+                    pack_request, unpack_loc)
 from ..runtime.transport import PeerDownError
 
 __all__ = ["KVClient", "ClientStats"]
@@ -65,7 +65,7 @@ class ClientStats:
 
     __slots__ = ("redirects", "timeouts", "lease_retries", "loc_lookups",
                  "onesided_reads", "onesided_fallbacks", "rpc_reads",
-                 "writes", "failures")
+                 "writes", "failures", "wrong_epoch", "map_refreshes")
 
     def __init__(self):
         for f in self.__slots__:
@@ -98,6 +98,10 @@ class KVClient:
         self.loc_ttl_ns = loc_ttl_ns
         self.seq = 0
         self.stats = ClientStats()
+        #: immutable epoch-stamped ring snapshot this client routes by;
+        #: every request carries ``_view.epoch`` and a WRONG_EPOCH answer
+        #: (shard moved, or sealed mid-move) refetches it
+        self._view = node.shard_map.freeze()
         #: group -> believed leader rank
         self._leader: Dict[int, int] = {}
         #: key -> (leader, slot addr, rkey, slot_size, resolved_at_ns)
@@ -134,10 +138,8 @@ class KVClient:
         seq = self.seq
         cmd = Command(op=op, client=self.client_id, seq=seq, key=key,
                       value=value, expected=expected)
-        group = self.node.shard_map.group_of(key)
-        payload = pack_request(REQ_WRITE, self.client_id, seq, group,
-                               encode_command(cmd))
-        status, resp = yield from self._rpc(group, payload, seq)
+        status, resp = yield from self._rpc(REQ_WRITE, encode_command(cmd),
+                                            seq, key=key)
         if status in (ST_OK, ST_MISS, ST_CAS_FAIL):
             # the command reached the state machine => it is durable on a
             # commit majority, whatever the outcome code says
@@ -161,10 +163,8 @@ class KVClient:
     def _get_rpc(self, key: bytes):
         self.seq += 1
         seq = self.seq
-        group = self.node.shard_map.group_of(key)
-        payload = pack_request(REQ_READ, self.client_id, seq, group,
-                               struct.pack("<H", len(key)) + key)
-        status, value = yield from self._rpc(group, payload, seq)
+        status, value = yield from self._rpc(
+            REQ_READ, struct.pack("<H", len(key)) + key, seq, key=key)
         if status in (ST_OK, ST_MISS):
             self.stats.rpc_reads += 1
         else:
@@ -230,10 +230,8 @@ class KVClient:
     def _resolve_loc(self, key: bytes):
         self.seq += 1
         seq = self.seq
-        group = self.node.shard_map.group_of(key)
-        payload = pack_request(REQ_LOC, self.client_id, seq, group,
-                               struct.pack("<H", len(key)) + key)
-        status, raw = yield from self._rpc(group, payload, seq)
+        status, raw = yield from self._rpc(
+            REQ_LOC, struct.pack("<H", len(key)) + key, seq, key=key)
         self.stats.loc_lookups += 1
         if status != ST_OK:
             return None
@@ -282,11 +280,22 @@ class KVClient:
         return None
 
     # ----------------------------------------------------------- transport
-    def _rpc(self, group: int, payload: bytes, seq: int):
+    def _refresh_view(self) -> None:
+        self._view = self.node.shard_map.freeze()
+        self.stats.map_refreshes += 1
+
+    def _rpc(self, kind: int, body: bytes, seq: int, key: bytes = None,
+             group: int = None):
         """Send to the believed leader, follow redirects, retry on
-        timeout.  Returns ``(status, value)`` with RESP_FAIL on give-up."""
-        replicas = self.node.shard_map.replicas(group)
-        dst = self._leader.get(group, replicas[0])
+        timeout.  Returns ``(status, value)`` with RESP_FAIL on give-up.
+
+        Routing: ``key`` requests hash through this client's frozen ring
+        view and re-route after a WRONG_EPOCH refetch; ``group`` pins an
+        explicit target (admin ops) and only the stamped epoch refreshes.
+        """
+        g = group if group is not None else self._view.group_of(key)
+        replicas = self.node.shard_map.replicas(g)
+        dst = self._leader.get(g, replicas[0])
         fallback = 0
         redirects = 0
         # leaderless windows (bootstrap, failover) last an election
@@ -294,6 +303,8 @@ class KVClient:
         # attempt budget at poll speed
         backoff = self.poll_ns * 8
         for _attempt in range(self.max_attempts):
+            payload = pack_request(kind, self.client_id, seq, g,
+                                   self._view.epoch, body)
             sent = True
             try:
                 yield from self.node.runtime.send(dst, ACT_REQ, payload)
@@ -307,7 +318,7 @@ class KVClient:
                 self.stats.timeouts += sent
                 fallback += 1
                 dst = replicas[fallback % len(replicas)]
-                self._leader.pop(group, None)
+                self._leader.pop(g, None)
                 continue
             status, hint, value = answer
             if status == RESP_NOT_LEADER:
@@ -334,7 +345,29 @@ class KVClient:
                 yield self.env.timeout(backoff)
                 backoff = min(backoff * 2, 400_000)
                 continue
-            self._leader[group] = dst
+            if status == RESP_WRONG_EPOCH:
+                # the ring moved under us (or the range is sealed while
+                # a move is in flight): refetch the map, re-route, retry.
+                # Pre-flip sealed rejections return the *same* epoch, so
+                # this degenerates to a plain backoff until the flip —
+                # which is exactly the intended client behaviour.
+                self.stats.wrong_epoch += 1
+                self._refresh_view()
+                if group is None:
+                    new_g = self._view.group_of(key)
+                    if new_g != g:
+                        g = new_g
+                        replicas = self.node.shard_map.replicas(g)
+                        fallback = 0
+                        dst = self._leader.get(g, replicas[0])
+                        # dropped keys' cached one-sided locations now
+                        # point at the old owner — invalidate this one
+                        if key is not None:
+                            self._loc.pop(key, None)
+                yield self.env.timeout(backoff)
+                backoff = min(backoff * 2, 400_000)
+                continue
+            self._leader[g] = dst
             return status, value
         return RESP_FAIL, b""
 
@@ -349,3 +382,25 @@ class KVClient:
             yield self.env.timeout(self.poll_ns)
         status, hint, value, _arrived = hub.pop(key)
         return status, hint, value
+
+    # ------------------------------------------------------- resharding ops
+    def admin_cmd(self, group: int, op: int, value: bytes = b""):
+        """Replicated admin command (OP_SEAL / OP_MERGE / OP_PURGE) at an
+        explicit group (generator).  Returns the ST_* status.  Admin
+        commands ride the same session layer as data writes, so retries
+        after a redirect or crash stay exactly-once."""
+        self.seq += 1
+        seq = self.seq
+        cmd = Command(op=op, client=self.client_id, seq=seq, key=b"",
+                      value=value)
+        status, _ = yield from self._rpc(REQ_WRITE, encode_command(cmd),
+                                         seq, group=group)
+        return status
+
+    def pull_snapshot(self, group: int):
+        """Fetch a sealed group's serialized machine (generator).
+        Returns the blob, or None while unsealed / leaderless."""
+        self.seq += 1
+        seq = self.seq
+        status, blob = yield from self._rpc(REQ_SNAP, b"", seq, group=group)
+        return blob if status == ST_OK else None

@@ -1,0 +1,104 @@
+"""Live shard moves: hand one group's key range to another group.
+
+A move re-homes *keys*, not replicas: the source group's Raft keeps
+running (sealed, then purged), the destination group absorbs the range.
+The sequence is the classic seal → copy → flip → purge hand-off, with
+every step that mutates replicated state going through the groups' own
+Raft logs so all replicas of each group converge on the same view:
+
+1. **Seal** — an ``OP_SEAL`` command is committed at the source.  From
+   its apply point the range is frozen deterministically on every source
+   replica: new data writes bounce with ``RESP_WRONG_EPOCH`` (clients
+   back off and retry — their retries land at the destination after the
+   flip, and the session layer keeps them exactly-once), while reads
+   keep serving the frozen state, which stays correct until the flip.
+2. **Copy** — the mover pulls the sealed machine (``REQ_SNAP``, leader +
+   read barrier, i.e. the state at exactly the seal point, client
+   sessions included) and commits it at the destination as an
+   ``OP_MERGE`` command.  The blob rides the ordinary parcel transport;
+   oversized bodies take the rendezvous path automatically.
+3. **Flip** — :meth:`ShardMap.reassign` relabels the source's ring
+   points to the destination and bumps the epoch.  Metadata-only and
+   instantaneous for servers; clients discover it through
+   ``WRONG_EPOCH`` redirects and refetch the ring.
+4. **Purge** — an ``OP_PURGE`` command clears the source replicas' data,
+   sessions and slot tables, unsealing the (now empty) group.
+
+Failure model: the mover is an ordinary client — every step is a
+retried, session-deduped RPC, so a leader crash mid-move stalls the move
+until the group re-elects, never corrupts it.  The only non-replicated
+step is the flip; it happens strictly after the merge commit is applied
+at the destination leader, so the new owner can serve the moment any
+client learns the new epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..sim.core import SimulationError
+from .client import KVClient
+from .shard import OP_MERGE, OP_PURGE, OP_SEAL, ST_OK
+from .store import KVNode
+
+__all__ = ["move_group", "MoveError"]
+
+#: client-id base for movers — above the workload ranges so the mover's
+#: session never collides with a data client
+_MOVER_ID_BASE = 900_000
+
+
+class MoveError(SimulationError):
+    """A move step failed permanently (exhausted retries)."""
+
+
+def move_group(nodes: List[KVNode], src_group: int, dst_group: int,
+               via_rank: int = 0, mover_id: Optional[int] = None,
+               timeout_ns: int = 2_000_000) -> Dict[str, int]:
+    """Generator: migrate ``src_group``'s key range into ``dst_group``.
+
+    Runs as a sim process on ``via_rank``'s node (the mover is a normal
+    KV client there).  Returns a report dict; raises :class:`MoveError`
+    if any replicated step exhausts its retries — in that case nothing
+    visible changed unless the seal committed, and a sealed-but-unmoved
+    group simply keeps serving reads until a later move retry.
+    """
+    node = nodes[via_rank]
+    if src_group == dst_group:
+        raise MoveError("cannot move a group onto itself")
+    env = node.env
+    t0 = env.now
+    admin = KVClient(node, client_id=(mover_id if mover_id is not None
+                                      else _MOVER_ID_BASE + src_group),
+                     timeout_ns=timeout_ns)
+
+    status = yield from admin.admin_cmd(src_group, OP_SEAL)
+    if status != ST_OK:
+        raise MoveError(f"seal of group {src_group} failed: status {status}")
+
+    blob = yield from admin.pull_snapshot(src_group)
+    if blob is None:
+        raise MoveError(f"snapshot pull from sealed group {src_group} failed")
+
+    status = yield from admin.admin_cmd(dst_group, OP_MERGE, blob)
+    if status != ST_OK:
+        raise MoveError(
+            f"merge into group {dst_group} failed: status {status}")
+
+    # the flip: relabel the ring, bump the epoch.  Every server checks
+    # requests against this shared map; clients refetch on WRONG_EPOCH.
+    epoch = node.shard_map.reassign(src_group, dst_group)
+
+    status = yield from admin.admin_cmd(src_group, OP_PURGE)
+    if status != ST_OK:
+        raise MoveError(f"purge of group {src_group} failed: status {status}")
+
+    return {
+        "src_group": src_group,
+        "dst_group": dst_group,
+        "epoch": epoch,
+        "moved_bytes": len(blob),
+        "duration_ns": env.now - t0,
+        "mover_redirects": admin.stats.redirects,
+        "mover_retries": admin.stats.timeouts + admin.stats.lease_retries,
+    }

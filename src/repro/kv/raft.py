@@ -19,26 +19,36 @@ Faithfulness notes (what is and isn't modelled):
   detector (:mod:`repro.runtime.health`) short-circuits the conservative
   timeout when it declares the known leader dead — detection-driven
   elections are the point of riding the health layer;
-- persistence is not modelled: a crashed replica stays down (fail-stop)
-  unless the caller explicitly reseeds it.  The experiments never
-  restart a Raft replica into the same group;
-- compaction is the snapshot-free stub the paper-scale experiments
-  need: an applied prefix is discarded only once every live follower's
-  ``match_index`` has passed it, so no follower can ever need a
-  discarded entry and no snapshot transfer mechanism is required.
+- persistence is not modelled: a crashed replica loses its volatile
+  state, but the caller may reseed a *fresh* node into the same group
+  (``repro.chaos`` restart events do exactly that) — the newcomer
+  rejoins through the InstallSnapshot flow below;
+- compaction is **snapshot-based**: once the applied prefix exceeds
+  ``compact_threshold`` the node serializes its state machine (through
+  the caller-installed :attr:`RaftNode.snapshot_fn`), records the
+  snapshot at ``last_applied``, and trims the log past *every* laggard,
+  keeping only ``compact_margin`` recent entries.  A follower whose
+  ``next_index`` falls below ``base_index`` is caught up by streaming
+  the snapshot in ``snapshot_chunk``-byte pieces (``MSG_SNAP``), one
+  chunk outstanding per peer with the heartbeat period as the
+  retransmit timer — the same self-clocking discipline as
+  AppendEntries.  A slow, gray or partitioned follower therefore never
+  stalls trimming, and a restarted replica converges from an empty log.
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..sim.core import SimulationError
+from .shard import CodecError
 
 __all__ = ["RaftConfig", "RaftNode", "RaftMsg", "encode_msg", "decode_msg",
            "FOLLOWER", "CANDIDATE", "LEADER",
-           "MSG_VOTE_REQ", "MSG_VOTE_REPLY", "MSG_APPEND", "MSG_APPEND_REPLY"]
+           "MSG_VOTE_REQ", "MSG_VOTE_REPLY", "MSG_APPEND", "MSG_APPEND_REPLY",
+           "MSG_SNAP", "MSG_SNAP_REPLY"]
 
 FOLLOWER = "follower"
 CANDIDATE = "candidate"
@@ -48,6 +58,8 @@ MSG_VOTE_REQ = 1
 MSG_VOTE_REPLY = 2
 MSG_APPEND = 3
 MSG_APPEND_REPLY = 4
+MSG_SNAP = 5         # one InstallSnapshot chunk
+MSG_SNAP_REPLY = 6   # follower's receive-progress ack
 
 #: type u8, group u16, term u64, src u16
 _HDR = struct.Struct("<BHQH")
@@ -57,15 +69,23 @@ _RV = struct.Struct("<QQ")
 _RVR = struct.Struct("<B")
 #: AppendEntries body: prev_index, prev_term, commit, sent_ns u64s; n u16
 _AE = struct.Struct("<QQQQH")
-#: AppendReply body: success u8, match_index u64, sent_ns u64 (echoed)
+#: AppendReply body: success u8, match_index u64, sent_ns u64 (echoed).
+#: On failure ``match_index`` carries the follower's last_index as a
+#: conflict hint so the leader can jump next_index down in one round
+#: (and reach the snapshot path fast for a freshly restarted replica).
 _AER = struct.Struct("<BQQ")
 #: per-entry frame: term u64, length u32
 _ENTRY = struct.Struct("<QI")
+#: InstallSnapshot chunk: snap_index, snap_term, offset, total, sent_ns
+#: u64s; chunk_len u32, done u8 — chunk bytes follow
+_SNAP = struct.Struct("<QQQQQIB")
+#: InstallSnapshot reply: snap_index, next_offset, sent_ns u64s
+_SNAPR = struct.Struct("<QQQ")
 
 
 @dataclass(frozen=True)
 class RaftMsg:
-    """One decoded Raft message (any of the four kinds)."""
+    """One decoded Raft message (any of the six kinds)."""
 
     kind: int
     group: int
@@ -85,6 +105,14 @@ class RaftMsg:
     # AppendReply
     success: bool = False
     match_index: int = 0
+    # InstallSnapshot chunk / reply
+    snap_index: int = 0
+    snap_term: int = 0
+    offset: int = 0
+    total: int = 0
+    done: bool = False
+    chunk: bytes = b""
+    next_offset: int = 0
 
 
 def encode_msg(msg: RaftMsg) -> bytes:
@@ -103,36 +131,89 @@ def encode_msg(msg: RaftMsg) -> bytes:
     if msg.kind == MSG_APPEND_REPLY:
         return head + _AER.pack(1 if msg.success else 0, msg.match_index,
                                 msg.sent_ns)
+    if msg.kind == MSG_SNAP:
+        return (head + _SNAP.pack(msg.snap_index, msg.snap_term, msg.offset,
+                                  msg.total, msg.sent_ns, len(msg.chunk),
+                                  1 if msg.done else 0)
+                + msg.chunk)
+    if msg.kind == MSG_SNAP_REPLY:
+        return head + _SNAPR.pack(msg.snap_index, msg.next_offset, msg.sent_ns)
     raise SimulationError(f"unknown raft message kind {msg.kind}")
 
 
+def _expect(raw: bytes, size: int, what: str) -> None:
+    if len(raw) != size:
+        raise CodecError(f"{what}: frame is {len(raw)} bytes, expected {size}")
+
+
 def decode_msg(raw: bytes) -> RaftMsg:
+    """Decode one Raft frame, validating every declared length.
+
+    A truncated or corrupt frame raises :class:`CodecError` instead of
+    silently mis-splitting entries — the store drops and counts it.
+    """
+    if len(raw) < _HDR.size:
+        raise CodecError(f"raft frame truncated: {len(raw)} < {_HDR.size}")
     kind, group, term, src = _HDR.unpack_from(raw, 0)
     off = _HDR.size
     if kind == MSG_VOTE_REQ:
+        _expect(raw, _HDR.size + _RV.size, "vote request")
         last_idx, last_term = _RV.unpack_from(raw, off)
         return RaftMsg(kind, group, term, src, last_log_index=last_idx,
                        last_log_term=last_term)
     if kind == MSG_VOTE_REPLY:
+        _expect(raw, _HDR.size + _RVR.size, "vote reply")
         (granted,) = _RVR.unpack_from(raw, off)
         return RaftMsg(kind, group, term, src, granted=bool(granted))
     if kind == MSG_APPEND:
+        if len(raw) < off + _AE.size:
+            raise CodecError("append frame truncated before body")
         prev_idx, prev_term, commit, sent_ns, n = _AE.unpack_from(raw, off)
         off += _AE.size
         entries = []
         for _ in range(n):
+            if off + _ENTRY.size > len(raw):
+                raise CodecError(
+                    f"append frame truncated at entry {len(entries)}/{n}")
             eterm, elen = _ENTRY.unpack_from(raw, off)
             off += _ENTRY.size
+            if off + elen > len(raw):
+                raise CodecError(
+                    f"append entry {len(entries)} declares {elen} bytes, "
+                    f"only {len(raw) - off} remain")
             entries.append((eterm, raw[off:off + elen]))
             off += elen
+        if off != len(raw):
+            raise CodecError(
+                f"append frame has {len(raw) - off} trailing bytes")
         return RaftMsg(kind, group, term, src, prev_index=prev_idx,
                        prev_term=prev_term, commit=commit, sent_ns=sent_ns,
                        entries=tuple(entries))
     if kind == MSG_APPEND_REPLY:
+        _expect(raw, _HDR.size + _AER.size, "append reply")
         success, match, sent_ns = _AER.unpack_from(raw, off)
         return RaftMsg(kind, group, term, src, success=bool(success),
                        match_index=match, sent_ns=sent_ns)
-    raise SimulationError(f"unknown raft message kind {kind}")
+    if kind == MSG_SNAP:
+        if len(raw) < off + _SNAP.size:
+            raise CodecError("snapshot chunk truncated before body")
+        (snap_idx, snap_term, offset, total, sent_ns,
+         clen, done) = _SNAP.unpack_from(raw, off)
+        off += _SNAP.size
+        if len(raw) != off + clen:
+            raise CodecError(
+                f"snapshot chunk declares {clen} bytes, frame has "
+                f"{len(raw) - off}")
+        return RaftMsg(kind, group, term, src, snap_index=snap_idx,
+                       snap_term=snap_term, offset=offset, total=total,
+                       sent_ns=sent_ns, done=bool(done),
+                       chunk=raw[off:off + clen])
+    if kind == MSG_SNAP_REPLY:
+        _expect(raw, _HDR.size + _SNAPR.size, "snapshot reply")
+        snap_idx, next_off, sent_ns = _SNAPR.unpack_from(raw, off)
+        return RaftMsg(kind, group, term, src, snap_index=snap_idx,
+                       next_offset=next_off, sent_ns=sent_ns)
+    raise CodecError(f"unknown raft message kind {kind}")
 
 
 @dataclass(frozen=True)
@@ -159,17 +240,31 @@ class RaftConfig:
     lease_ns: int = 400_000
     #: max log entries shipped per AppendEntries message
     max_entries_per_ae: int = 16
-    #: applied entries retained before the compaction stub trims the log
+    #: applied entries accumulated before the node snapshots and trims
     compact_threshold: int = 256
+    #: recent entries *kept* below the snapshot point when trimming, so
+    #: a slightly-lagging follower still catches up over AppendEntries
+    #: and only a deeply-behind (or restarted) one needs a full install.
+    #: Must stay below compact_threshold or trimming never fires.
+    compact_margin: int = 64
+    #: bytes of snapshot shipped per MSG_SNAP chunk
+    snapshot_chunk: int = 4096
 
     def validate(self) -> None:
         for name in ("heartbeat_ns", "election_timeout_ns",
                      "election_jitter_ns", "fast_election_ns", "lease_ns",
-                     "max_entries_per_ae", "compact_threshold"):
+                     "max_entries_per_ae", "compact_threshold",
+                     "snapshot_chunk"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
         if self.election_stagger_ns < 0:
             raise ValueError("election_stagger_ns must be >= 0")
+        if self.compact_margin < 0:
+            raise ValueError("compact_margin must be >= 0")
+        if self.compact_margin >= self.compact_threshold:
+            raise ValueError(
+                "compact_margin must be below compact_threshold "
+                "(otherwise trimming never fires)")
         if self.heartbeat_ns >= self.election_timeout_ns:
             raise ValueError("heartbeat_ns must be below election_timeout_ns")
 
@@ -224,10 +319,30 @@ class RaftNode:
         self._hb_due = now
         self._slot = self.replicas.index(rank)
         self.election_due = now + self._election_delay(bootstrap=True)
+        # --- snapshot state -------------------------------------------
+        #: caller-installed serializer for the applied state machine;
+        #: None disarms snapshotting entirely (pure-logic tests).  The
+        #: store sets this to its KVStateMachine's serialize.
+        self.snapshot_fn: Optional[Callable[[], bytes]] = None
+        self.snapshot_index = 0
+        self.snapshot_term = 0
+        self.snapshot_blob = b""
+        #: leader: per-peer in-progress snapshot transfer — the blob is
+        #: referenced here so a newer snapshot taken mid-transfer cannot
+        #: shift the offsets under an in-flight stream
+        self._snap_xfer: Dict[int, Dict[str, object]] = {}
+        #: follower: chunk accumulator for the incoming install
+        self._snap_in: Optional[Dict[str, object]] = None
+        #: installed snapshots for the caller: (index, term, blob, t_start)
+        self._installed_out: List[Tuple[int, int, bytes, int]] = []
         # counters the store mirrors into obs
         self.elections_started = 0
         self.terms_led: List[int] = []
         self.compactions = 0
+        self.snapshots_taken = 0
+        self.snapshot_installs = 0
+        self.snapshot_chunks_sent = 0
+        self.snapshot_bytes_sent = 0
 
     # ------------------------------------------------------------ log access
     @property
@@ -281,6 +396,7 @@ class RaftNode:
             self.next_index.clear()
             self.match_index.clear()
             self._ack_round.clear()
+            self._snap_xfer.clear()
         self._reset_election_timer(now)
 
     def _become_leader(self, now: int) -> None:
@@ -292,6 +408,7 @@ class RaftNode:
         self.match_index = {p: 0 for p in self.replicas if p != self.rank}
         self._ack_round = {p: 0 for p in self.replicas if p != self.rank}
         self._inflight = {p: 0 for p in self.replicas if p != self.rank}
+        self._snap_xfer = {}
         # committing an entry of the *current* term is what lets the
         # commit index advance over inherited entries — standard no-op
         self.log.append((self.term, b""))
@@ -311,7 +428,6 @@ class RaftNode:
         self._hb_due = now
         if len(self.replicas) == 1:
             self._advance_commit()
-            self._maybe_compact()
         return index
 
     def lease_valid(self, now: int) -> bool:
@@ -373,7 +489,12 @@ class RaftNode:
 
     # ------------------------------------------------------------- tick
     def tick(self, now: int) -> None:
-        """Advance timers: elections for followers, AE rounds for leaders."""
+        """Advance timers: elections for followers, AE rounds for leaders,
+        and — for every role — snapshot the applied prefix once it grows
+        past ``compact_threshold`` (followers compact their own logs too;
+        a replica must never depend on its leader to bound its memory)."""
+        if (self.snapshot_fn is not None and self.snapshot_due()):
+            self.take_snapshot(self.snapshot_fn())
         if self.role == LEADER:
             if now >= self._hb_due:
                 self._send_append_round(now)
@@ -410,17 +531,28 @@ class RaftNode:
         for peer in self.replicas:
             if peer == self.rank:
                 continue
-            inflight = self._inflight.get(peer, 0)
-            if inflight and now < inflight + self.config.heartbeat_ns:
-                continue  # one AE outstanding; heartbeat = retransmit timer
+            xfer = self._snap_xfer.get(peer)
+            if xfer is not None:
+                # snapshot stream in progress: heartbeat period doubles
+                # as the chunk retransmit timer, exactly like AE
+                if now >= xfer["sent_ns"] + self.config.heartbeat_ns:
+                    self._send_snap_chunk(peer, now)
+                continue
             nxt = self.next_index[peer]
             prev = nxt - 1
             if prev < self.base_index:
-                # compaction never outruns live matches; a dead peer can
-                # fall behind the base, but we stop shipping to it anyway
+                if self.snapshot_blob or self.snapshot_index:
+                    # peer needs entries we compacted away: stream the
+                    # snapshot instead of AppendEntries
+                    self._start_snap_xfer(peer, now)
+                    continue
+                # no snapshot taken yet (manual compact() only): clamp
                 self.next_index[peer] = self.base_index + 1
                 prev = self.base_index
                 nxt = prev + 1
+            inflight = self._inflight.get(peer, 0)
+            if inflight and now < inflight + self.config.heartbeat_ns:
+                continue  # one AE outstanding; heartbeat = retransmit timer
             entries = []
             idx = nxt
             while (idx <= self.last_index
@@ -434,15 +566,44 @@ class RaftNode:
             self.outbox.append((peer, encode_msg(msg)))
             self._inflight[peer] = now
 
+    # ------------------------------------------------------------- snapshot tx
+    def _start_snap_xfer(self, peer: int, now: int) -> None:
+        self._snap_xfer[peer] = {
+            "index": self.snapshot_index,
+            "term": self.snapshot_term,
+            "blob": self.snapshot_blob,
+            "offset": 0,
+            "sent_ns": 0,
+        }
+        self._inflight[peer] = 0  # the AE slot is idle during the stream
+        self._send_snap_chunk(peer, now)
+
+    def _send_snap_chunk(self, peer: int, now: int) -> None:
+        xfer = self._snap_xfer[peer]
+        blob: bytes = xfer["blob"]  # type: ignore[assignment]
+        off = int(xfer["offset"])
+        chunk = blob[off:off + self.config.snapshot_chunk]
+        done = off + len(chunk) >= len(blob)
+        msg = RaftMsg(MSG_SNAP, self.group, self.term, self.rank,
+                      snap_index=int(xfer["index"]),
+                      snap_term=int(xfer["term"]),
+                      offset=off, total=len(blob), sent_ns=now,
+                      done=done, chunk=chunk)
+        self.outbox.append((peer, encode_msg(msg)))
+        xfer["sent_ns"] = now
+        self.snapshot_chunks_sent += 1
+        self.snapshot_bytes_sent += len(chunk)
+
     # ------------------------------------------------------------- receive
     def on_message(self, msg: RaftMsg, now: int) -> None:
         if msg.group != self.group:
             raise SimulationError(
                 f"group {self.group} got message for group {msg.group}")
         if msg.term > self.term:
-            self._become_follower(msg.term, now,
-                                  leader=(msg.src if msg.kind == MSG_APPEND
-                                          else None))
+            self._become_follower(
+                msg.term, now,
+                leader=(msg.src if msg.kind in (MSG_APPEND, MSG_SNAP)
+                        else None))
         if msg.kind == MSG_VOTE_REQ:
             self._on_vote_req(msg, now)
         elif msg.kind == MSG_VOTE_REPLY:
@@ -451,6 +612,10 @@ class RaftNode:
             self._on_append(msg, now)
         elif msg.kind == MSG_APPEND_REPLY:
             self._on_append_reply(msg, now)
+        elif msg.kind == MSG_SNAP:
+            self._on_snap(msg, now)
+        elif msg.kind == MSG_SNAP_REPLY:
+            self._on_snap_reply(msg, now)
         else:
             raise SimulationError(f"unknown raft message kind {msg.kind}")
 
@@ -504,6 +669,12 @@ class RaftNode:
             if msg.commit > self.commit_index:
                 self.commit_index = min(msg.commit, self.last_index)
             self._advance_applied()
+        else:
+            # conflict hint: our last_index lets the leader jump its
+            # next_index down in one round instead of decrementing —
+            # a restarted (empty-log) follower reaches the snapshot
+            # path immediately instead of after O(log) retries
+            match = self.last_index
         reply = RaftMsg(MSG_APPEND_REPLY, self.group, self.term, self.rank,
                         success=ok, match_index=match, sent_ns=msg.sent_ns)
         self.outbox.append((msg.src, encode_msg(reply)))
@@ -522,9 +693,14 @@ class RaftNode:
             self._inflight[msg.src] = 0
         if not msg.success:
             if current:
-                # decrement-and-retry conflict resolution
-                self.next_index[msg.src] = max(self.base_index + 1,
-                                               self.next_index[msg.src] - 1)
+                # decrement-and-retry conflict resolution, bounded below
+                # by the follower's hinted last_index (+1) so a deeply
+                # behind or freshly restarted peer is reached in one
+                # round; if that lands at or below base_index the next
+                # send round streams the snapshot instead
+                self.next_index[msg.src] = max(
+                    self.base_index, 1,
+                    min(self.next_index[msg.src] - 1, msg.match_index + 1))
                 self._hb_due = now
             return
         # only a *successful* ack extends the lease: a log-mismatch
@@ -540,7 +716,86 @@ class RaftNode:
         self._advance_commit()
         if current and self.next_index[msg.src] <= self.last_index:
             self._hb_due = now  # more to ship: next tick, don't wait
-        self._maybe_compact()
+
+    # ------------------------------------------------------- snapshot rx
+    def _on_snap(self, msg: RaftMsg, now: int) -> None:
+        if msg.term < self.term:
+            # stale leader: the reply's term makes it step down
+            reply = RaftMsg(MSG_SNAP_REPLY, self.group, self.term, self.rank,
+                            snap_index=msg.snap_index, next_offset=0,
+                            sent_ns=msg.sent_ns)
+            self.outbox.append((msg.src, encode_msg(reply)))
+            return
+        # a current-term snapshot stream is the leader asserting itself
+        self._become_follower(msg.term, now, leader=msg.src)
+        if msg.snap_index <= self.last_applied:
+            # we already cover this snapshot: fast-forward the stream so
+            # the leader flips back to AppendEntries
+            next_off = msg.total
+        else:
+            acc = self._snap_in
+            if acc is None or acc["index"] != msg.snap_index:
+                acc = self._snap_in = {"index": msg.snap_index,
+                                       "term": msg.snap_term,
+                                       "total": msg.total,
+                                       "buf": bytearray(),
+                                       "t_start": now}
+            buf: bytearray = acc["buf"]  # type: ignore[assignment]
+            if msg.offset == len(buf):
+                buf.extend(msg.chunk)
+            # any other offset: duplicate or hole — re-ack our progress
+            next_off = len(buf)
+            if msg.done and next_off >= msg.total:
+                self._install_snapshot(msg.snap_index, msg.snap_term,
+                                       bytes(buf), int(acc["t_start"]))
+                self._snap_in = None
+        reply = RaftMsg(MSG_SNAP_REPLY, self.group, self.term, self.rank,
+                        snap_index=msg.snap_index, next_offset=next_off,
+                        sent_ns=msg.sent_ns)
+        self.outbox.append((msg.src, encode_msg(reply)))
+
+    def _install_snapshot(self, index: int, term: int, blob: bytes,
+                          t_start: int) -> None:
+        """Adopt a complete snapshot: reset the log around it and hand
+        the blob to the caller (the store swaps its state machine in)."""
+        if index <= self.last_index and self.base_index < index \
+                and self.term_at(index) == term:
+            # snapshot is a prefix of our log: keep the newer suffix
+            del self.log[:index - self.base_index]
+        else:
+            self.log.clear()
+            self.commit_index = index
+        self.base_index = index
+        self.base_term = term
+        self.commit_index = max(self.commit_index, index)
+        self.last_applied = index
+        self._applied_out.clear()
+        self.snapshot_index = index
+        self.snapshot_term = term
+        self.snapshot_blob = blob
+        self.snapshot_installs += 1
+        self._installed_out.append((index, term, blob, t_start))
+
+    def _on_snap_reply(self, msg: RaftMsg, now: int) -> None:
+        if self.role != LEADER or msg.term != self.term:
+            return
+        xfer = self._snap_xfer.get(msg.src)
+        if xfer is None or msg.snap_index != xfer["index"]:
+            return
+        blob: bytes = xfer["blob"]  # type: ignore[assignment]
+        if msg.next_offset >= len(blob):
+            # transfer complete: the peer now covers snap_index
+            del self._snap_xfer[msg.src]
+            if msg.snap_index > self.match_index.get(msg.src, 0):
+                self.match_index[msg.src] = msg.snap_index
+            self.next_index[msg.src] = msg.snap_index + 1
+            if msg.sent_ns > self._ack_round.get(msg.src, 0):
+                self._ack_round[msg.src] = msg.sent_ns
+            self._advance_commit()
+            self._hb_due = now  # resume AppendEntries immediately
+            return
+        xfer["offset"] = msg.next_offset
+        self._send_snap_chunk(msg.src, now)
 
     # ------------------------------------------------------------- commit
     def _advance_commit(self) -> None:
@@ -569,26 +824,49 @@ class RaftNode:
         return out
 
     # ------------------------------------------------------------- compaction
-    def _maybe_compact(self) -> None:
-        """Snapshot-free compaction stub: trim the applied prefix that
-        every *live* follower has already matched (a dead replica never
-        rejoins its group under the fail-stop model, so its stale
-        match_index must not pin the log forever)."""
-        if self.last_applied - self.base_index < self.config.compact_threshold:
-            return
-        live_matches = [m for p, m in self.match_index.items()
-                        if p not in self._dead_peers]
-        safe = min([self.last_applied] + live_matches)
-        if safe <= self.base_index:
-            return
-        self.compact(safe)
+    def snapshot_due(self) -> bool:
+        """True once the applied prefix has outgrown ``compact_threshold``
+        and every applied entry has been drained by the caller (the
+        state machine is exactly at ``last_applied``, so serializing it
+        now yields a consistent snapshot)."""
+        return (self.last_applied - self.base_index
+                >= self.config.compact_threshold
+                and not self._applied_out)
+
+    def take_snapshot(self, blob: bytes) -> int:
+        """Record ``blob`` as the state at ``last_applied`` and trim the
+        log past every laggard, retaining only ``compact_margin`` recent
+        entries.  Returns the number of entries discarded.
+
+        This is the hole-closing move: trimming no longer waits for any
+        follower's ``match_index`` — a slow, gray or partitioned peer
+        (or one the detector missed) cannot pin the log.  Whoever falls
+        below the new ``base_index`` is caught up with this snapshot.
+        """
+        if self._applied_out:
+            raise SimulationError(
+                f"g{self.group} r{self.rank}: snapshot requested with "
+                f"{len(self._applied_out)} undrained applied entries")
+        self.snapshot_index = self.last_applied
+        self.snapshot_term = self.term_at(self.last_applied)
+        self.snapshot_blob = bytes(blob)
+        self.snapshots_taken += 1
+        return self.compact(self.last_applied - self.config.compact_margin)
+
+    def take_installed(self) -> List[Tuple[int, int, bytes, int]]:
+        """Snapshots installed since the last call, oldest first, as
+        ``(index, term, blob, t_start_ns)`` — the caller must replace
+        its state machine with the deserialized blob."""
+        out = self._installed_out
+        self._installed_out = []
+        return out
 
     def compact(self, upto: int) -> int:
         """Discard log entries ``<= upto`` (bounded by last_applied).
 
-        Returns the number of entries discarded.  Followers call this
-        freely for their own applied prefix; leaders go through
-        :meth:`_maybe_compact` so no live follower is left behind.
+        Returns the number of entries discarded.  Normal operation goes
+        through :meth:`take_snapshot`; calling this directly is only
+        safe when no follower will ever need the discarded prefix.
         """
         upto = min(upto, self.last_applied)
         if upto <= self.base_index:
@@ -615,4 +893,10 @@ class RaftNode:
             "elections_started": self.elections_started,
             "terms_led": list(self.terms_led),
             "compactions": self.compactions,
+            "snapshot_index": self.snapshot_index,
+            "snapshot_bytes": len(self.snapshot_blob),
+            "snapshots_taken": self.snapshots_taken,
+            "snapshot_installs": self.snapshot_installs,
+            "snapshot_chunks_sent": self.snapshot_chunks_sent,
+            "snapshot_bytes_sent": self.snapshot_bytes_sent,
         }

@@ -16,6 +16,22 @@ sessions get exactly-once application: each command carries a
 ``(client_id, seq)`` uid, replays of an already-applied seq return the
 retained first result instead of re-executing — that is what makes a
 client retry after a redirect or leader crash safe.
+
+Two mechanisms added for snapshots and live moves:
+
+- the machine is fully serializable (:meth:`KVStateMachine.serialize` /
+  :meth:`~KVStateMachine.deserialize`), *including* the client-session
+  table and applied-uid set — a replica installed from a snapshot dedups
+  retries exactly like one that replayed the log;
+- the ring carries an **epoch**: :meth:`ShardMap.reassign` hands one
+  group's ring points to another group and bumps the epoch.  Clients
+  route by an immutable :class:`RingView` snapshot and stamp its epoch
+  on every request; servers reject mismatches so a stale client
+  refetches the map instead of reading keys a move took away.  The move
+  itself is sequenced through three replicated admin commands —
+  ``OP_SEAL`` (freeze the source range deterministically at one log
+  position), ``OP_MERGE`` (install the sealed range at the target) and
+  ``OP_PURGE`` (drop the source copy) — see :mod:`repro.kv.move`.
 """
 
 from __future__ import annotations
@@ -28,19 +44,41 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..sim.core import SimulationError
 
-__all__ = ["ShardMap", "KVStateMachine", "Command", "encode_command",
-           "decode_command", "OP_NOOP", "OP_PUT", "OP_CAS", "OP_DELETE",
-           "ST_OK", "ST_MISS", "ST_CAS_FAIL"]
+__all__ = ["ShardMap", "RingView", "KVStateMachine", "Command",
+           "encode_command", "decode_command", "snapshot_keys", "CodecError",
+           "OP_NOOP", "OP_PUT", "OP_CAS", "OP_DELETE",
+           "OP_SEAL", "OP_MERGE", "OP_PURGE",
+           "ST_OK", "ST_MISS", "ST_CAS_FAIL", "ST_SEALED"]
 
 OP_NOOP = 0
 OP_PUT = 1
 OP_CAS = 3
 OP_DELETE = 4
+#: admin commands (replicated through the same log as data commands)
+OP_SEAL = 5    # freeze the group's range: writes after this apply as ST_SEALED
+OP_MERGE = 6   # install a serialized machine (value = snapshot blob)
+OP_PURGE = 7   # drop the group's data after a completed hand-off
 
 #: state-machine result codes (shared with the client protocol)
 ST_OK = 0
 ST_MISS = 1
 ST_CAS_FAIL = 2
+#: write rejected because the range is sealed/moved — same code the
+#: server uses for an epoch mismatch, so clients handle both by
+#: refetching the ring and retrying (RESP_WRONG_EPOCH in store.py)
+ST_SEALED = 5
+
+
+class CodecError(SimulationError):
+    """A wire frame's declared lengths disagree with its actual size.
+
+    Raised instead of silently mis-splitting key/value/entry boundaries
+    when a payload is truncated or carries a corrupt length field.  The
+    store drops such frames and counts them (``kv.codec_errors``) —
+    a malformed message must never crash a replica or, worse, apply a
+    half-parsed command.
+    """
+
 
 #: op u8, client u32, seq u64, klen u16, vlen u32, elen u32
 _CMD = struct.Struct("<BIQHII")
@@ -69,7 +107,14 @@ def encode_command(cmd: Command) -> bytes:
 
 
 def decode_command(raw: bytes) -> Command:
+    if len(raw) < _CMD.size:
+        raise CodecError(
+            f"command frame truncated: {len(raw)} < header {_CMD.size}")
     op, client, seq, klen, vlen, elen = _CMD.unpack_from(raw, 0)
+    if len(raw) != _CMD.size + klen + vlen + elen:
+        raise CodecError(
+            f"command frame length {len(raw)} != declared "
+            f"{_CMD.size}+{klen}+{vlen}+{elen}")
     off = _CMD.size
     key = raw[off:off + klen]
     off += klen
@@ -84,8 +129,39 @@ def _ring_hash(data: bytes) -> int:
     return int.from_bytes(hashlib.sha256(data).digest()[:8], "little")
 
 
+class RingView:
+    """An immutable client-side snapshot of the ring at one epoch.
+
+    Clients route with a view and stamp ``view.epoch`` on every request;
+    when a move bumps the authoritative :class:`ShardMap` epoch the
+    server answers ``RESP_WRONG_EPOCH`` and the client refetches a fresh
+    view.  Keeping the view immutable is what makes the redirect honest:
+    a client never silently picks up a flip it was not told about.
+    """
+
+    __slots__ = ("epoch", "_ring_keys", "_ring_groups")
+
+    def __init__(self, epoch: int, ring_keys, ring_groups):
+        self.epoch = epoch
+        self._ring_keys = tuple(ring_keys)
+        self._ring_groups = tuple(ring_groups)
+
+    def group_of(self, key: bytes) -> int:
+        h = _ring_hash(bytes(key))
+        i = bisect.bisect_right(self._ring_keys, h)
+        if i == len(self._ring_keys):
+            i = 0
+        return self._ring_groups[i]
+
+
 class ShardMap:
-    """Consistent-hash key → group ring plus the replica placement."""
+    """Consistent-hash key → group ring plus the replica placement.
+
+    The ring is mutable in exactly one way: :meth:`reassign` relabels
+    every point one group owns to another group and bumps :attr:`epoch`.
+    Replica placement is static — a "moved" group's ranks keep their
+    (sealed, soon purged) Raft group; the *keys* move, not the ranks.
+    """
 
     def __init__(self, n_groups: int, n_ranks: int, rf: int = 3,
                  vnodes: int = 64):
@@ -98,6 +174,9 @@ class ShardMap:
         self.n_ranks = n_ranks
         self.rf = rf
         self.vnodes = vnodes
+        self.epoch = 0
+        #: (epoch, src_group, dst_group) hand-offs, oldest first
+        self.moves: List[Tuple[int, int, int]] = []
         points: List[Tuple[int, int]] = []
         for g in range(n_groups):
             for v in range(vnodes):
@@ -113,6 +192,28 @@ class ShardMap:
         if i == len(self._ring_keys):
             i = 0
         return self._ring_groups[i]
+
+    def freeze(self) -> RingView:
+        """The current ring as an immutable, epoch-stamped client view."""
+        return RingView(self.epoch, self._ring_keys, self._ring_groups)
+
+    def reassign(self, src_group: int, dst_group: int) -> int:
+        """Hand every ring point of ``src_group`` to ``dst_group``.
+
+        Returns the new epoch.  This is the *flip* step of a live move —
+        data must already be installed at the target (see
+        :mod:`repro.kv.move`); the flip itself is metadata-only.
+        """
+        for g in (src_group, dst_group):
+            if not 0 <= g < self.n_groups:
+                raise SimulationError(f"no such group {g}")
+        if src_group == dst_group:
+            raise SimulationError("cannot reassign a group to itself")
+        self._ring_groups = [dst_group if g == src_group else g
+                             for g in self._ring_groups]
+        self.epoch += 1
+        self.moves.append((self.epoch, src_group, dst_group))
+        return self.epoch
 
     def replicas(self, group: int) -> List[int]:
         """Replica ranks for ``group`` (stride placement, leader-spread)."""
@@ -133,6 +234,17 @@ class ShardMap:
         return counts
 
 
+#: snapshot blob header: ops_applied u64, n_keys u32, n_sessions u32,
+#: n_uids u32, sealed u8
+_SNAP_HDR = struct.Struct("<QIIIB")
+#: per-key record: klen u16, vlen u32, version u64, present u8
+_SNAP_KEY = struct.Struct("<HIQB")
+#: per-session record: client u32, seq u64, status u8, rlen u32
+_SNAP_SESS = struct.Struct("<IQBI")
+#: per-uid record: client u32, seq u64
+_SNAP_UID = struct.Struct("<IQ")
+
+
 class KVStateMachine:
     """Deterministic KV interpreter with exactly-once client sessions."""
 
@@ -148,6 +260,9 @@ class KVStateMachine:
         self.applied_uids: Set[Tuple[int, int]] = set()
         self.ops_applied = 0
         self.dup_skips = 0
+        #: set by OP_SEAL: the range is frozen for a hand-off, data
+        #: writes apply as ST_SEALED without touching state or sessions
+        self.sealed = False
 
     def is_duplicate(self, cmd: Command) -> bool:
         return self._session_seq.get(cmd.client, -1) >= cmd.seq
@@ -171,7 +286,28 @@ class KVStateMachine:
         if self.is_duplicate(cmd):
             self.dup_skips += 1
             return self.retained_result(cmd) or (ST_OK, b"")
-        if cmd.op == OP_PUT:
+        if self.sealed and cmd.op in (OP_PUT, OP_CAS, OP_DELETE):
+            # no session record: the client will retry the same uid at
+            # the new owner after the epoch flip, and that retry must
+            # apply there, not dedup against a rejection
+            return (ST_SEALED, b"")
+        if cmd.op == OP_SEAL:
+            self.sealed = True
+            result = (ST_OK, b"")
+        elif cmd.op == OP_MERGE:
+            self.merge_from(cmd.value)
+            result = (ST_OK, b"")
+        elif cmd.op == OP_PURGE:
+            self.data.clear()
+            self.version.clear()
+            self._session_seq.clear()
+            self._session_result.clear()
+            self.applied_uids.clear()
+            self.sealed = False
+            result = (ST_OK, b"")
+            # fall through: purge records the admin session *after* the
+            # clear, so a purge retry still dedups
+        elif cmd.op == OP_PUT:
             self.data[cmd.key] = cmd.value
             self.version[cmd.key] = self.version.get(cmd.key, 0) + 1
             result = (ST_OK, b"")
@@ -201,6 +337,74 @@ class KVStateMachine:
     def get(self, key: bytes) -> Optional[bytes]:
         return self.data.get(key)
 
+    # ------------------------------------------------------------- snapshot
+    def serialize(self) -> bytes:
+        """The whole machine as one deterministic blob.
+
+        Iteration orders are sorted, so every replica at the same apply
+        point produces byte-identical blobs — that is what lets golden
+        audits compare snapshots and lets install order be deterministic.
+        Versions of *deleted* keys are kept (present=0 records) so the
+        one-sided readers' monotonic-version guard survives an install.
+        """
+        parts = [b""]  # placeholder for the header
+        n_keys = 0
+        for key in sorted(self.version):
+            value = self.data.get(key)
+            present = value is not None
+            parts.append(_SNAP_KEY.pack(len(key), len(value) if present else 0,
+                                        self.version[key], 1 if present else 0))
+            parts.append(key)
+            if present:
+                parts.append(value)
+            n_keys += 1
+        for client in sorted(self._session_seq):
+            status, result = self._session_result.get(client, (ST_OK, b""))
+            parts.append(_SNAP_SESS.pack(client, self._session_seq[client],
+                                         status, len(result)))
+            parts.append(result)
+        for client, seq in sorted(self.applied_uids):
+            parts.append(_SNAP_UID.pack(client, seq))
+        parts[0] = _SNAP_HDR.pack(self.ops_applied, n_keys,
+                                  len(self._session_seq),
+                                  len(self.applied_uids),
+                                  1 if self.sealed else 0)
+        return b"".join(parts)
+
+    @classmethod
+    def deserialize(cls, group: int, blob: bytes) -> "KVStateMachine":
+        """Rebuild a machine from :meth:`serialize` output."""
+        sm = cls(group)
+        (sm.ops_applied, sm.sealed), _ = _decode_snapshot(
+            blob, sm.data, sm.version, sm._session_seq, sm._session_result,
+            sm.applied_uids)
+        return sm
+
+    def merge_from(self, blob: bytes) -> None:
+        """Overlay another machine's serialized state (the OP_MERGE body).
+
+        Keys/versions overwrite, sessions keep the newest seq per client
+        (safe because client sessions are serial — one op in flight —
+        so the newest seq's retained result is the only one a retry can
+        still ask for), applied uids union.  The source's sealed flag is
+        ignored: the *target* keeps serving.
+        """
+        data: Dict[bytes, bytes] = {}
+        version: Dict[bytes, int] = {}
+        sess_seq: Dict[int, int] = {}
+        sess_res: Dict[int, Tuple[int, bytes]] = {}
+        uids: Set[Tuple[int, int]] = set()
+        (ops, _sealed), _ = _decode_snapshot(blob, data, version,
+                                             sess_seq, sess_res, uids)
+        self.data.update(data)
+        self.version.update(version)
+        for client, seq in sess_seq.items():
+            if seq > self._session_seq.get(client, -1):
+                self._session_seq[client] = seq
+                self._session_result[client] = sess_res.get(client, (ST_OK, b""))
+        self.applied_uids |= uids
+        self.ops_applied += ops
+
     def stats(self) -> Dict[str, object]:
         return {
             "group": self.group,
@@ -208,4 +412,56 @@ class KVStateMachine:
             "ops_applied": self.ops_applied,
             "dup_skips": self.dup_skips,
             "sessions": len(self._session_seq),
+            "sealed": self.sealed,
         }
+
+
+def snapshot_keys(blob: bytes) -> List[bytes]:
+    """Keys recorded in a snapshot blob, in blob (sorted) order —
+    the store mirrors exactly these into slots after an OP_MERGE."""
+    data: Dict[bytes, bytes] = {}
+    version: Dict[bytes, int] = {}
+    _decode_snapshot(blob, data, version, {}, {}, set())
+    return list(version)
+
+
+def _decode_snapshot(blob, data, version, sess_seq, sess_res, uids):
+    """Decode a machine snapshot into the caller's containers.
+
+    Returns ``((ops_applied, sealed), end_offset)``; raises
+    :class:`CodecError` when any declared length walks off the blob.
+    """
+    if len(blob) < _SNAP_HDR.size:
+        raise CodecError(f"snapshot truncated: {len(blob)} bytes")
+    ops, n_keys, n_sess, n_uids, sealed = _SNAP_HDR.unpack_from(blob, 0)
+    off = _SNAP_HDR.size
+    try:
+        for _ in range(n_keys):
+            klen, vlen, ver, present = _SNAP_KEY.unpack_from(blob, off)
+            off += _SNAP_KEY.size
+            if off + klen + vlen > len(blob):
+                raise CodecError("snapshot key record overruns blob")
+            key = blob[off:off + klen]
+            off += klen
+            version[key] = ver
+            if present:
+                data[key] = blob[off:off + vlen]
+                off += vlen
+        for _ in range(n_sess):
+            client, seq, status, rlen = _SNAP_SESS.unpack_from(blob, off)
+            off += _SNAP_SESS.size
+            if off + rlen > len(blob):
+                raise CodecError("snapshot session record overruns blob")
+            sess_seq[client] = seq
+            sess_res[client] = (status, blob[off:off + rlen])
+            off += rlen
+        for _ in range(n_uids):
+            client, seq = _SNAP_UID.unpack_from(blob, off)
+            off += _SNAP_UID.size
+            uids.add((client, seq))
+    except struct.error as exc:
+        raise CodecError(f"snapshot truncated mid-record: {exc}") from exc
+    if off != len(blob):
+        raise CodecError(
+            f"snapshot has {len(blob) - off} trailing bytes")
+    return (ops, bool(sealed)), off

@@ -37,14 +37,15 @@ from ..runtime.scheduler import Runtime
 from ..runtime.transport import PeerDownError, PhotonTransport
 from ..sim.core import SimulationError
 from .raft import LEADER, RaftConfig, RaftNode, decode_msg
-from .shard import (Command, KVStateMachine, OP_NOOP, ShardMap, ST_MISS,
-                    ST_OK, decode_command)
+from .shard import (Command, CodecError, KVStateMachine, OP_CAS, OP_DELETE,
+                    OP_MERGE, OP_NOOP, OP_PURGE, OP_PUT, OP_SEAL, ShardMap,
+                    ST_MISS, ST_OK, decode_command, snapshot_keys)
 
 __all__ = ["KVConfig", "KVNode", "build_kv",
            "ACT_RAFT", "ACT_REQ", "ACT_RESP",
-           "REQ_WRITE", "REQ_READ", "REQ_LOC",
+           "REQ_WRITE", "REQ_READ", "REQ_LOC", "REQ_SNAP",
            "RESP_OK", "RESP_MISS", "RESP_CAS_FAIL", "RESP_NOT_LEADER",
-           "RESP_NO_LEASE", "RESP_FAIL",
+           "RESP_NO_LEASE", "RESP_WRONG_EPOCH", "RESP_FAIL",
            "SLOT_HDR", "SLOT_PRESENT", "SLOT_OVERSIZE",
            "pack_request", "unpack_request", "pack_response",
            "unpack_response", "pack_loc", "unpack_loc"]
@@ -56,6 +57,8 @@ ACT_RESP = "kv.resp"
 REQ_WRITE = 0
 REQ_READ = 1
 REQ_LOC = 2
+#: fetch a sealed group's serialized machine (the move data plane)
+REQ_SNAP = 3
 
 #: response statuses 0..2 coincide with the state-machine ST_* codes
 RESP_OK = 0
@@ -63,10 +66,14 @@ RESP_MISS = 1
 RESP_CAS_FAIL = 2
 RESP_NOT_LEADER = 3
 RESP_NO_LEASE = 4
+#: the client's ring epoch is stale (or the range is sealed mid-move):
+#: refetch the shard map and retry — numerically equal to ST_SEALED so
+#: sealed-apply results pass straight through to the client
+RESP_WRONG_EPOCH = 5
 RESP_FAIL = 255
 
-#: request frame: kind u8, client u32, seq u64, group u16
-_REQ = struct.Struct("<BIQH")
+#: request frame: kind u8, client u32, seq u64, group u16, epoch u32
+_REQ = struct.Struct("<BIQHI")
 #: response frame: status u8, leader_hint i16, client u32, seq u64, vlen u32
 _RESP = struct.Struct("<BhIQI")
 #: loc payload: leader u16, slot u32, slot_size u32, addr u64, rkey u64
@@ -78,14 +85,17 @@ SLOT_PRESENT = 1
 SLOT_OVERSIZE = 2
 
 
-def pack_request(kind: int, client: int, seq: int, group: int,
+def pack_request(kind: int, client: int, seq: int, group: int, epoch: int,
                  body: bytes) -> bytes:
-    return _REQ.pack(kind, client, seq, group) + body
+    return _REQ.pack(kind, client, seq, group, epoch) + body
 
 
-def unpack_request(raw: bytes) -> Tuple[int, int, int, int, bytes]:
-    kind, client, seq, group = _REQ.unpack_from(raw, 0)
-    return kind, client, seq, group, raw[_REQ.size:]
+def unpack_request(raw: bytes) -> Tuple[int, int, int, int, int, bytes]:
+    if len(raw) < _REQ.size:
+        raise CodecError(
+            f"request frame truncated: {len(raw)} < {_REQ.size}")
+    kind, client, seq, group, epoch = _REQ.unpack_from(raw, 0)
+    return kind, client, seq, group, epoch, raw[_REQ.size:]
 
 
 def pack_response(status: int, hint: int, client: int, seq: int,
@@ -122,6 +132,10 @@ class KVConfig:
     slots_per_group: int = 1024
     #: host cost charged per applied state-machine command (ns)
     apply_cost_ns: int = 400
+    #: host cost charged when a replica serializes its machine into a
+    #: snapshot, and when it deserializes + swaps in an installed one
+    snapshot_cost_ns: int = 20_000
+    install_cost_ns: int = 40_000
     #: server-loop idle backoff bounds (ns); the loop doubles from base
     #: to max while nothing is flowing so quiet stretches don't spin
     idle_backoff_ns: int = 400
@@ -141,7 +155,8 @@ class KVConfig:
             raise ValueError("rf must be >= 1")
         if self.slot_size <= SLOT_HDR:
             raise ValueError(f"slot_size must exceed the {SLOT_HDR}B header")
-        for name in ("slots_per_group", "apply_cost_ns", "idle_backoff_ns",
+        for name in ("slots_per_group", "apply_cost_ns", "snapshot_cost_ns",
+                     "install_cost_ns", "idle_backoff_ns",
                      "idle_backoff_max_ns", "dead_poll_ns", "hub_ttl_ns"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
@@ -190,22 +205,19 @@ class KVNode:
         self.counters = cluster.scope(rank)
         #: failure-detector handle (attach via attach_health)
         self.monitor = None
-        rng_space = cluster.rng.namespace("kv.raft")
         self.raft: Dict[int, RaftNode] = {}
         self.machines: Dict[int, KVStateMachine] = {}
         self.tables: Dict[int, object] = {}       # group -> PhotonBuffer
         self._slot_of: Dict[int, Dict[bytes, int]] = {}
         self._next_slot: Dict[int, int] = {}
+        #: per-group snapshots_taken high-water (obs mirror + cost charge)
+        self._snap_seen: Dict[int, int] = {}
         for g in shard_map.groups_on(rank):
-            replicas = shard_map.replicas(g)
-            self.raft[g] = RaftNode(
-                g, rank, replicas, self.config.raft,
-                rng_space.stream(f"g{g}.r{rank}"), now=self.env.now)
-            self.machines[g] = KVStateMachine(g)
+            self._seed_group(g)
+            # boot-time tables are registered eagerly (a restart defers
+            # registration until the replica has state to publish)
             self.tables[g] = photon.buffer(
                 self.config.slots_per_group * self.config.slot_size)
-            self._slot_of[g] = {}
-            self._next_slot[g] = 0
         #: leader side: (group, log index) -> (reply rank, client, seq)
         self._pending: Dict[Tuple[int, int], Tuple[int, int, int]] = {}
         self._pending_uid: Dict[Tuple[int, int], Tuple[int, int]] = {}
@@ -218,6 +230,57 @@ class KVNode:
         self._hub_gc_due = 0
         self.running = False
         self._proc = None
+
+    def _seed_group(self, g: int) -> None:
+        """Create the group's RaftNode + machine and arm snapshotting.
+
+        RNG streams are cached by name in the registry, so a reseed
+        after a restart *continues* the same deterministic jitter stream
+        instead of replaying it from the start.
+        """
+        rng_space = self.cluster.rng.namespace("kv.raft")
+        replicas = self.shard_map.replicas(g)
+        rn = RaftNode(g, self.rank, replicas, self.config.raft,
+                      rng_space.stream(f"g{g}.r{self.rank}"),
+                      now=self.env.now)
+        rn.snapshot_fn = lambda g=g: self.machines[g].serialize()
+        self.raft[g] = rn
+        self.machines[g] = KVStateMachine(g)
+        self._slot_of[g] = {}
+        self._next_slot[g] = 0
+        self._snap_seen[g] = 0
+
+    # ------------------------------------------------------------- restart
+    def on_crash(self) -> None:
+        """Drop all volatile state (the chaos controller calls this right
+        after ``photon.crash_local``).  The server loop keeps running in
+        its dead-poll stance; the rank serves nothing until reseeded."""
+        self.raft.clear()
+        self.machines.clear()
+        self.tables.clear()
+        self._slot_of.clear()
+        self._next_slot.clear()
+        self._snap_seen.clear()
+        self._pending.clear()
+        self._pending_uid.clear()
+        self._tx.clear()
+        self.hub.clear()
+        self.counters.add("kv.crashes")
+
+    def reseed(self) -> None:
+        """Rebuild empty replicas after a chaos ``restart`` event.
+
+        The reborn followers nack the leader's first AppendEntries with
+        a last_index=0 hint, the leader jumps below its ``base_index``
+        and streams its snapshot — rejoin *is* the InstallSnapshot flow,
+        there is no separate recovery path.  Slot tables are deliberately
+        **not** registered here: a table appears only once the replica
+        has installed a snapshot (or applied its first command), so a
+        one-sided reader can never observe a half-built table.
+        """
+        for g in self.shard_map.groups_on(self.rank):
+            self._seed_group(g)
+        self.counters.add("kv.reseeds")
 
     # ---------------------------------------------------------------- wiring
     def attach_health(self, monitor) -> None:
@@ -252,7 +315,13 @@ class KVNode:
 
     # ------------------------------------------------------------- handlers
     def handle_raft(self, src: int, payload: bytes) -> None:
-        msg = decode_msg(payload)
+        try:
+            msg = decode_msg(payload)
+        except CodecError:
+            # malformed frames are dropped, never applied half-parsed;
+            # Raft's retransmit machinery covers the loss
+            self.counters.add("kv.codec_errors")
+            return
         rn = self.raft.get(msg.group)
         if rn is None:
             self.counters.add("kv.misrouted_raft")
@@ -264,8 +333,17 @@ class KVNode:
             self._drop_pending(msg.group)
 
     def handle_request(self, src: int, payload: bytes) -> None:
-        kind, client, seq, group, body = unpack_request(payload)
+        try:
+            kind, client, seq, group, epoch, body = unpack_request(payload)
+        except CodecError:
+            self.counters.add("kv.codec_errors")
+            return
         self.counters.add("kv.requests")
+        if epoch != self.shard_map.epoch:
+            # the client routed with a pre-move ring: make it refetch
+            self._respond(src, RESP_WRONG_EPOCH, -1, client, seq)
+            self.counters.add("kv.wrong_epoch")
+            return
         rn = self.raft.get(group)
         if rn is None:
             hint = self.shard_map.replicas(group)[0]
@@ -282,13 +360,29 @@ class KVNode:
             self._handle_read(src, client, seq, group, rn, body)
         elif kind == REQ_LOC:
             self._handle_loc(src, client, seq, group, rn, body)
+        elif kind == REQ_SNAP:
+            self._handle_snap(src, client, seq, group, rn)
         else:
             self._respond(src, RESP_FAIL, -1, client, seq)
 
     def _handle_write(self, src: int, client: int, seq: int, group: int,
                       rn: RaftNode, body: bytes) -> None:
-        cmd = decode_command(body)
+        try:
+            cmd = decode_command(body)
+        except CodecError:
+            self.counters.add("kv.codec_errors")
+            self._respond(src, RESP_FAIL, -1, client, seq)
+            return
         sm = self.machines[group]
+        if sm.sealed and cmd.op in (OP_PUT, OP_CAS, OP_DELETE):
+            # the range is frozen for a hand-off: dedup is checked first
+            # (above-seq retries of pre-seal writes still get their
+            # retained result via the duplicate path below), fresh
+            # writes bounce so the client refetches the ring post-flip
+            if not sm.is_duplicate(cmd):
+                self._respond(src, RESP_WRONG_EPOCH, -1, client, seq)
+                self.counters.add("kv.sealed_rejects")
+                return
         if sm.is_duplicate(cmd):
             # committed and applied on a previous attempt: answer from the
             # retained session result — exactly-once despite retries
@@ -359,6 +453,24 @@ class KVNode:
                                addr, table.rkey))
         self.counters.add("kv.loc_lookups")
 
+    def _handle_snap(self, src: int, client: int, seq: int, group: int,
+                     rn: RaftNode) -> None:
+        """Serve the sealed group's serialized machine (move data plane).
+
+        Leader-only with the full read barrier: the mover must see the
+        state at the seal point, nothing earlier.  Rejected while
+        unsealed — a snapshot of a live range would race new writes.
+        """
+        if not (rn.lease_valid(self.env.now) and rn.read_barrier_ok()):
+            self._respond(src, RESP_NO_LEASE, self.rank, client, seq)
+            return
+        sm = self.machines[group]
+        if not sm.sealed:
+            self._respond(src, RESP_FAIL, self.rank, client, seq)
+            return
+        self._respond(src, RESP_OK, self.rank, client, seq, sm.serialize())
+        self.counters.add("kv.snap_serves")
+
     def handle_response(self, src: int, payload: bytes) -> None:
         status, hint, client, seq, value = unpack_response(payload)
         self.hub[(client, seq)] = (status, hint, value, self.env.now)
@@ -423,15 +535,31 @@ class KVNode:
         self._hub_gc_due = now + ttl
 
     def _apply_committed(self) -> int:
-        """Apply newly committed entries; answer pending clients."""
+        """Apply newly committed entries; answer pending clients.
+
+        Also the snapshot pump: installed snapshots handed up by the
+        Raft layer are swapped in here (machine replaced wholesale, slot
+        table rebuilt into a *fresh* registered buffer), and freshly
+        taken snapshots are charged + mirrored into obs.
+        """
         applied = 0
         for g, rn in self.raft.items():
+            for index, term, blob, t_start in rn.take_installed():
+                yield from self._install_snapshot(g, blob, t_start)
+                applied += 1
             sm = self.machines[g]
             for index, raw in rn.take_applied():
                 cmd = decode_command(raw)
                 status, value = sm.apply(cmd)
-                if cmd.op != OP_NOOP:
-                    self._update_slot(g, cmd, sm)
+                if cmd.op == OP_MERGE:
+                    # mirror every merged key; blob order is sorted, so
+                    # first-touch slot assignment stays deterministic
+                    for key in snapshot_keys(cmd.value):
+                        self._update_slot(g, key, sm)
+                elif cmd.op == OP_PURGE:
+                    self._purge_slots(g)
+                elif cmd.op not in (OP_NOOP, OP_SEAL):
+                    self._update_slot(g, cmd.key, sm)
                 yield self.env.timeout(self.config.apply_cost_ns)
                 applied += 1
                 self.counters.add("kv.applied")
@@ -440,29 +568,80 @@ class KVNode:
                 if who is not None and rn.role == LEADER:
                     dst, client, seq = who
                     self._respond(dst, status, self.rank, client, seq, value)
+            if rn.snapshots_taken > self._snap_seen.get(g, 0):
+                self._snap_seen[g] = rn.snapshots_taken
+                self.counters.add("kv.snapshots_taken")
+                self.counters.add("kv.raft.snapshot_bytes",
+                                  len(rn.snapshot_blob))
+                yield self.env.timeout(self.config.snapshot_cost_ns)
+            self.counters.set_max("kv.raft.log_entries", len(rn.log))
+            self.counters.set_max("kv.raft.base_index", rn.base_index)
         return applied
 
-    def _update_slot(self, group: int, cmd: Command,
-                     sm: KVStateMachine) -> None:
-        """Mirror the applied key into the one-sided slot table.
+    def _install_snapshot(self, group: int, blob: bytes, t_start: int):
+        """Swap in an installed snapshot: machine, then slot table.
 
-        Slot indices are assigned in apply order, which is the committed
-        log order — identical on every replica of the group, so a slot
-        resolved against one replica stays valid on all of them.
+        The replacement table is fully populated *before* it becomes the
+        group's table, so a concurrently resolving one-sided reader can
+        never observe a half-installed table — it either still sees the
+        old buffer (stale but version-guarded) or the complete new one.
         """
+        span = self.counters.span("kv.raft.install", t_start)
+        sm = KVStateMachine.deserialize(group, blob)
+        self.machines[group] = sm
+        self.tables.pop(group, None)
+        self._slot_of[group] = {}
+        self._next_slot[group] = 0
+        for key in sorted(sm.version):
+            self._update_slot(group, key, sm)
+        yield self.env.timeout(self.config.install_cost_ns)
+        span.end(self.env.now, status="ok")
+        self.counters.add("kv.snapshot_installs")
+        self.counters.add("kv.raft.snapshot_bytes", len(blob))
+
+    def _purge_slots(self, group: int) -> None:
+        """OP_PURGE applied: zero every assigned slot header and reset
+        the assignment map.  Zeroed headers (version 0, no flags) push
+        any one-sided reader holding a stale loc back to the RPC path."""
+        table = self.tables.get(group)
+        if table is not None:
+            for slot in range(self._next_slot[group]):
+                addr = table.addr + slot * self.config.slot_size
+                self.photon.memory.write(addr, _SLOT.pack(0, 0, 0))
+        self._slot_of[group] = {}
+        self._next_slot[group] = 0
+        self.counters.add("kv.purges")
+
+    def _update_slot(self, group: int, key: bytes,
+                     sm: KVStateMachine) -> None:
+        """Mirror one key into the group's one-sided slot table.
+
+        Slot indices are assigned first-touch in apply order (committed
+        log order, plus sorted order inside merge/install batches) —
+        identical on every replica that took the same path.  A replica
+        rebuilt from a snapshot assigns sorted order instead; that is
+        safe because clients only ever resolve locs against the current
+        leader's own table, never mix slots across replicas.
+        """
+        table = self.tables.get(group)
+        if table is None:
+            # deferred registration (post-restart): first published
+            # state materializes the table
+            table = self.photon.buffer(
+                self.config.slots_per_group * self.config.slot_size)
+            self.tables[group] = table
         slots = self._slot_of[group]
-        slot = slots.get(cmd.key)
+        slot = slots.get(key)
         if slot is None:
             if self._next_slot[group] >= self.config.slots_per_group:
                 self.counters.add("kv.slot_overflow")
                 return  # table full: key stays RPC-only
             slot = self._next_slot[group]
             self._next_slot[group] = slot + 1
-            slots[cmd.key] = slot
-        table = self.tables[group]
+            slots[key] = slot
         addr = table.addr + slot * self.config.slot_size
-        value = sm.get(cmd.key)
-        version = sm.version.get(cmd.key, 0)
+        value = sm.get(key)
+        version = sm.version.get(key, 0)
         if value is None:
             self.photon.memory.write(addr, _SLOT.pack(version, 0, 0))
         elif len(value) > self.config.value_limit:
@@ -512,6 +691,7 @@ class KVNode:
         """JSON-serializable store snapshot (obs report section)."""
         return {
             "rank": self.rank,
+            "epoch": self.shard_map.epoch,
             "groups": {str(g): rn.stats() for g, rn in self.raft.items()},
             "machines": {str(g): sm.stats()
                          for g, sm in self.machines.items()},

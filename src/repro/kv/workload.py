@@ -24,6 +24,7 @@ obs scope, so ``repro.obs`` snapshots and JSONL exports see them too.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -168,37 +169,54 @@ def open_loop(env, client_pool: List[KVClient], zipf: ZipfKeys,
               value_size: int = 64, scope=None, poisson: bool = True):
     """Arrival-driven driver (generator).
 
-    Ops are injected at ``rate_ops_s`` (exponential or fixed gaps) and
-    handed round-robin to a pool of client sessions, each of which runs
-    its ops serially — in-flight concurrency is bounded by the pool size
-    while the *schedule* stays open-loop, so queueing delay shows up in
-    the recorded latency instead of being silently coordinated away.
+    Ops are injected at ``rate_ops_s`` (exponential or fixed gaps) into a
+    single shared arrival FIFO; whichever client session goes idle first
+    pops the next arrival, so one slow op (a failover stall, a snapshot
+    install) delays only its own session instead of every op that was
+    round-robined behind it.  In-flight concurrency is bounded by the
+    pool size while the *schedule* stays open-loop, so queueing delay
+    shows up in the recorded latency instead of being silently
+    coordinated away.  Idle sessions park on a wake event the injector
+    triggers on each arrival — no polling, so an idle pool costs zero
+    sim events and the event order (hence the trace) is identical
+    whether or not sessions outnumber arrivals.
     """
     gap_ns = 1e9 / rate_ops_s
-    queues: List[List[int]] = [[] for _ in client_pool]
-    closed = {"arrivals": False}
+    arrivals: deque = deque()
+    state = {"closed": False, "wake": env.event()}
 
-    def session(idx: int, client: KVClient):
-        q = queues[idx]
-        while not closed["arrivals"] or q:
-            if not q:
-                yield env.timeout(2_000)
-                continue
-            t_arrival = q.pop(0)
-            yield from _one_op(env, client, zipf, rng, get_ratio,
-                               value_size, stats, scope,
-                               t_arrival=t_arrival)
+    def _wake():
+        if not state["wake"].triggered:
+            state["wake"].succeed()
 
-    procs = [env.process(session(i, c), name=f"kv.open.{i}")
+    def session(client: KVClient):
+        while True:
+            if arrivals:
+                t_arrival = arrivals.popleft()
+                yield from _one_op(env, client, zipf, rng, get_ratio,
+                                   value_size, stats, scope,
+                                   t_arrival=t_arrival)
+            elif state["closed"]:
+                return
+            else:
+                # first parker after a trigger re-arms the shared event;
+                # later parkers in the same step reuse the fresh one, so
+                # one arrival wakes every idle session (deterministically,
+                # in parking order) and exactly one of them pops it.
+                if state["wake"].triggered:
+                    state["wake"] = env.event()
+                yield state["wake"]
+
+    procs = [env.process(session(c), name=f"kv.open.{i}")
              for i, c in enumerate(client_pool)]
     t_end = env.now + duration_ns
-    i = 0
     while env.now < t_end:
-        queues[i % len(client_pool)].append(env.now)
-        i += 1
+        arrivals.append(env.now)
+        _wake()
         wait = rng.exponential(gap_ns) if poisson else gap_ns
         yield env.timeout(max(1, int(wait)))
-    closed["arrivals"] = True
+    state["closed"] = True
+    _wake()
     for p in procs:
         if p.is_alive:
             yield p

@@ -618,6 +618,9 @@ class PhotonBase:
             pass
         for peer in self.peers.values():
             self._rearm_peer_state(peer)
+            # the crash tore every QP down and the drain above consumed
+            # the flush CQEs, so the RQ really is empty on this side
+            peer.preposted = 0
             if peer.qp.state is not QPState.READY:
                 peer.qp.reset_and_reconnect()
             if self.config.use_imm:
@@ -671,7 +674,14 @@ class PhotonBase:
             self.memory.write_u64(
                 self._layout[(peer.rank, name, "credit_stage")], 0)
         peer.outstanding = 0
-        peer.preposted = 0
+        # deliberately NOT zeroing peer.preposted: if the pairing's QP
+        # was never torn down (peer died with nothing outstanding) the
+        # RQ still holds our posted receives — fungible empty WRs the
+        # new incarnation can consume, so zeroing the counter here would
+        # double-post and overflow the RQ on rearm.  If it *was* torn
+        # down, the flush CQEs decrement the counter through the normal
+        # poll path (possibly after this call), and the poll loop tops
+        # the RQ back up once they drain.
         peer.tx_op_seq = 0
         peer.rx_hwm = 0
         peer.rx_seen.clear()

@@ -18,15 +18,18 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.bench.experiments import r1_latency, r4_ledger, r17_faults
 from repro.cluster import build_cluster
 from repro.kv import (Command, KVClient, KVConfig, KVStateMachine,
                       RaftConfig, RaftNode, ShardMap, build_kv,
                       decode_command, encode_command)
-from repro.kv.raft import (LEADER, MSG_APPEND, MSG_APPEND_REPLY,
-                           MSG_VOTE_REPLY, MSG_VOTE_REQ, RaftMsg,
-                           decode_msg, encode_msg)
-from repro.kv.shard import OP_CAS, OP_PUT, ST_CAS_FAIL, ST_MISS, ST_OK
+from repro.kv.raft import (LEADER, MSG_APPEND, MSG_APPEND_REPLY, MSG_SNAP,
+                           MSG_SNAP_REPLY, MSG_VOTE_REPLY, MSG_VOTE_REQ,
+                           RaftMsg, decode_msg, encode_msg)
+from repro.kv.shard import (CodecError, OP_CAS, OP_PUT, ST_CAS_FAIL,
+                            ST_MISS, ST_OK)
 from repro.kv.workload import WorkloadStats, ZipfKeys
 from repro.obs.report import build_snapshot
 from repro.photon import photon_init
@@ -111,9 +114,38 @@ def test_raft_message_codecs_roundtrip():
                 sent_ns=123_456, entries=((8, b"alpha"), (9, b""))),
         RaftMsg(MSG_APPEND_REPLY, 0, 9, 2, success=False, match_index=4,
                 sent_ns=123_456),
+        RaftMsg(MSG_SNAP, 0, 9, 1, snap_index=40, snap_term=8, offset=4096,
+                total=5000, done=True, chunk=b"z" * 904, sent_ns=7),
+        RaftMsg(MSG_SNAP_REPLY, 0, 9, 2, snap_index=40, next_offset=5000,
+                sent_ns=7),
     ]
     for msg in msgs:
         assert decode_msg(encode_msg(msg)) == msg
+
+
+def test_raft_decode_rejects_malformed_frames():
+    """Truncated, overgrown and unknown frames raise a typed CodecError
+    instead of struct.error / silent garbage."""
+    good = encode_msg(RaftMsg(MSG_APPEND, 0, 9, 0, prev_index=4,
+                              prev_term=8, commit=3, sent_ns=1,
+                              entries=((8, b"alpha"),)))
+    with pytest.raises(CodecError):
+        decode_msg(b"")
+    with pytest.raises(CodecError):
+        decode_msg(good[:1])          # no header
+    with pytest.raises(CodecError):
+        decode_msg(good[:-3])         # truncated entry payload
+    with pytest.raises(CodecError):
+        decode_msg(good + b"\x00")    # trailing bytes
+    with pytest.raises(CodecError):
+        decode_msg(b"\xff" + good[1:])  # unknown kind
+    snap = encode_msg(RaftMsg(MSG_SNAP, 0, 9, 1, snap_index=4, snap_term=2,
+                              offset=0, total=10, done=False,
+                              chunk=b"abcde", sent_ns=1))
+    with pytest.raises(CodecError):
+        decode_msg(snap[:-2])         # truncated chunk
+    with pytest.raises(CodecError):
+        decode_msg(snap + b"!")       # overlong chunk frame
 
 
 # --------------------------------------------------------------------------
@@ -291,24 +323,100 @@ def test_append_truncates_conflicting_suffix():
     assert reply.success and reply.match_index == 3
 
 
+def _arm_snapshots(bus, payload: bytes = b"machine-state") -> None:
+    """Give every Bus node a trivial serializer so compaction can fire
+    (no snapshot_fn → compaction disarmed, the pure-logic default)."""
+    for n in bus.nodes.values():
+        n.snapshot_fn = lambda: payload
+
+
+def _drain_all(bus) -> None:
+    for n in bus.nodes.values():
+        n.take_applied()
+        n.take_installed()
+
+
 def test_compaction_trims_the_applied_prefix():
-    cfg = RaftConfig(compact_threshold=8)
+    cfg = RaftConfig(compact_threshold=8, compact_margin=2)
     bus = Bus(n=3, cfg=cfg)
+    _arm_snapshots(bus)
     leader = bus.elect()
     for i in range(30):
         leader.propose(f"c{i:03d}".encode(), bus.now)
         bus.step(dt=10_000)
-    bus.run_until(lambda: all(n.last_applied == leader.last_index
-                              for n in bus.nodes.values()))
+        _drain_all(bus)  # snapshots wait for the caller to drain applies
+    bus.run_until(lambda: (_drain_all(bus) or all(
+        n.last_applied == leader.last_index for n in bus.nodes.values())))
     bus.step()
     assert leader.base_index > 0
+    assert leader.snapshots_taken >= 1
     assert leader.compactions >= 1
     assert len(leader.log) < 30
-    # compaction must never outrun the live followers
-    assert leader.base_index <= min(leader.match_index.values())
-    follower = bus.nodes[(leader.rank + 1) % 3]
-    dropped = follower.compact(follower.last_applied)
-    assert dropped > 0 and follower.last_index == leader.last_index
+    # the retained applied suffix is bounded by threshold + margin ...
+    for n in bus.nodes.values():
+        assert (n.last_applied - n.base_index
+                <= cfg.compact_threshold + cfg.compact_margin)
+    # ... and healthy followers converged on the plain AE path: the
+    # margin kept enough entries that nobody needed a snapshot install
+    assert all(n.snapshot_installs == 0 for n in bus.nodes.values())
+    assert all(n.last_index == leader.last_index
+               for n in bus.nodes.values())
+
+
+def test_snapshot_streams_to_a_partitioned_follower():
+    """Trimming past a laggard is safe because the laggard is caught up
+    by InstallSnapshot: cut a follower, overrun the threshold, heal —
+    the follower must converge via a streamed snapshot, not AE repair."""
+    cfg = RaftConfig(compact_threshold=8, compact_margin=2,
+                     snapshot_chunk=7)  # force a multi-chunk transfer
+    bus = Bus(n=3, cfg=cfg)
+    _arm_snapshots(bus, payload=b"s" * 40)
+    leader = bus.elect()
+    lag = bus.nodes[(leader.rank + 1) % 3]
+    bus.cut.add(lag.rank)
+    for i in range(30):
+        leader.propose(f"c{i:03d}".encode(), bus.now)
+        bus.step(dt=10_000)
+        _drain_all(bus)
+    # the leader trimmed past the cut follower's position
+    assert leader.base_index > lag.last_index
+    assert leader.snapshot_index > 0
+    bus.cut.discard(lag.rank)
+    bus.run_until(lambda: (_drain_all(bus) or
+                           lag.last_applied == leader.last_index))
+    assert lag.snapshot_installs >= 1
+    assert leader.snapshot_chunks_sent >= 2     # 40B / 7B chunks
+    assert lag.base_index == lag.snapshot_index > 0
+    assert lag.last_index == leader.last_index
+    # the installed blob is retained so *this* node could serve installs
+    # were it to become leader
+    assert lag.snapshot_blob == b"s" * 40
+
+
+def test_snapshot_install_reports_blob_to_caller():
+    """A follower that installs a snapshot surfaces (index, term, blob)
+    through take_installed() exactly once, and its applied cursor jumps
+    to the snapshot point without replaying the trimmed prefix."""
+    cfg = RaftConfig(compact_threshold=4, compact_margin=1)
+    bus = Bus(n=3, cfg=cfg)
+    _arm_snapshots(bus, payload=b"full-machine")
+    leader = bus.elect()
+    lag = bus.nodes[(leader.rank + 1) % 3]
+    bus.cut.add(lag.rank)
+    for i in range(12):
+        leader.propose(f"c{i:03d}".encode(), bus.now)
+        bus.step(dt=10_000)
+        for n in bus.nodes.values():
+            n.take_applied()
+    bus.cut.discard(lag.rank)
+    bus.run_until(lambda: bool(lag._installed_out))
+    installed = lag.take_installed()
+    assert len(installed) == 1
+    index, term, blob, _t0 = installed[0]
+    assert blob == b"full-machine"
+    assert index == lag.base_index == lag.last_applied
+    assert term <= leader.term
+    assert lag.take_installed() == []  # drained exactly once
 
 
 # --------------------------------------------------------------------------
@@ -343,6 +451,87 @@ def test_command_codec_roundtrip():
     cmd = Command(op=OP_CAS, client=42, seq=7, key=b"k", value=b"v" * 100,
                   expected=b"old")
     assert decode_command(encode_command(cmd)) == cmd
+
+
+def test_command_decode_rejects_malformed_frames():
+    good = encode_command(Command(op=OP_PUT, client=1, seq=2, key=b"key",
+                                  value=b"value"))
+    with pytest.raises(CodecError):
+        decode_command(b"")
+    with pytest.raises(CodecError):
+        decode_command(good[:4])       # truncated header
+    with pytest.raises(CodecError):
+        decode_command(good[:-1])      # body shorter than lengths claim
+    with pytest.raises(CodecError):
+        decode_command(good + b"xx")   # body longer than lengths claim
+
+
+def test_shard_map_reassign_flips_ownership_and_epoch():
+    sm = ShardMap(n_groups=4, n_ranks=6, rf=3)
+    keys = [f"key:{i}".encode() for i in range(2000)]
+    src = sm.group_of(keys[0])
+    dst = (src + 1) % 4
+    owned = [k for k in keys if sm.group_of(k) == src]
+    view0 = sm.freeze()
+    assert sm.epoch == 0 and view0.epoch == 0
+    epoch = sm.reassign(src, dst)
+    assert epoch == sm.epoch == 1
+    # every key the source owned now routes to the destination ...
+    assert all(sm.group_of(k) == dst for k in owned)
+    # ... nothing else moved ...
+    assert all(sm.group_of(k) != src for k in keys)
+    # ... and the frozen pre-move view still routes the old way
+    assert view0.group_of(keys[0]) == src
+    assert sm.moves == [(1, src, dst)]
+
+
+def test_state_machine_serialize_roundtrip_and_merge():
+    m = KVStateMachine(0)
+    m.apply(Command(OP_PUT, 1, 1, b"a", b"v1"))
+    m.apply(Command(OP_PUT, 2, 1, b"b", b"v2"))
+    m.apply(Command(OP_CAS, 1, 2, b"a", b"v3", expected=b"wrong"))
+    from repro.kv.shard import OP_DELETE
+    m.apply(Command(OP_DELETE, 2, 2, b"b"))
+    blob = m.serialize()
+    # byte-determinism: same state → same blob
+    assert m.serialize() == blob
+    clone = KVStateMachine.deserialize(0, blob)
+    assert clone.get(b"a") == b"v1" and clone.get(b"b") is None
+    # deleted keys keep their version (monotonic-read guard survives)
+    assert clone.version[b"b"] == m.version[b"b"] > 0
+    assert clone.ops_applied == m.ops_applied
+    # sessions survive: a replayed uid still dedups after the roundtrip
+    before = clone.ops_applied
+    assert clone.apply(Command(OP_CAS, 1, 2, b"a", b"v3",
+                               expected=b"wrong"))[0] == ST_CAS_FAIL
+    assert clone.ops_applied == before and clone.dup_skips == 1
+    # merge overlays into a machine that has its own keys
+    other = KVStateMachine(1)
+    other.apply(Command(OP_PUT, 3, 1, b"c", b"v4"))
+    other.merge_from(blob)
+    assert other.get(b"a") == b"v1" and other.get(b"c") == b"v4"
+    assert (1, 2) in other.applied_uids and (3, 1) in other.applied_uids
+    with pytest.raises(CodecError):
+        KVStateMachine.deserialize(0, blob[:-2])
+    with pytest.raises(CodecError):
+        KVStateMachine.deserialize(0, blob + b"\x00")
+
+
+def test_state_machine_seal_rejects_writes_without_burning_sessions():
+    from repro.kv.shard import OP_SEAL, ST_SEALED
+    m = KVStateMachine(0)
+    m.apply(Command(OP_PUT, 1, 1, b"k", b"v1"))
+    assert m.apply(Command(OP_SEAL, 9, 1, b""))[0] == ST_OK
+    assert m.sealed
+    st, _ = m.apply(Command(OP_PUT, 1, 2, b"k", b"v2"))
+    assert st == ST_SEALED
+    # the rejected write must NOT be recorded as applied: the client's
+    # retry has to be able to land at the destination group post-move
+    assert (1, 2) not in m.applied_uids
+    assert m.get(b"k") == b"v1"
+    # reads of frozen state keep working; replays of pre-seal writes too
+    assert m.apply(Command(OP_PUT, 1, 1, b"k", b"zzz")) == (ST_OK, b"")
+    assert m.get(b"k") == b"v1"
 
 
 def test_state_machine_ops_and_exactly_once_sessions():
@@ -560,7 +749,8 @@ def test_redirect_bounce_backs_off_instead_of_burning_attempts():
         def send(dst, action, payload):
             sends["n"] += 1
             from repro.kv.store import unpack_request
-            _kind, client, seq, _group, _body = unpack_request(payload)
+            _kind, client, seq, _group, _epoch, _body = \
+                unpack_request(payload)
             hub[(client, seq)] = (RESP_NOT_LEADER, 1 - dst, b"", env.now)
             yield env.timeout(50)
 
