@@ -1,0 +1,19 @@
+"""Benchmark R22 — event-kernel backends: calendar queue vs heap.
+
+Host wall-clock microbenchmark of the scheduler itself (DESIGN.md §7):
+empty-timeout churn and bursty link transit, run on both queue backends.
+The shape checks assert backend equivalence (identical event counts and
+final clock) plus loose machine-independent rate floors; exact events/s
+land in BENCH_wallclock.json via ``python -m repro.bench --timing``.
+"""
+
+from repro.bench.experiments import r22_kernel
+
+
+def test_r22_kernel(benchmark):
+    result = benchmark.pedantic(r22_kernel.run, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.all_checks_pass, \
+        f"shape checks failed: {result.failed_checks()}"

@@ -46,26 +46,40 @@ def _run_timed(wanted, full: bool, repeats: int):
 
     ``results`` holds the last run's ExperimentResult per experiment (all
     repeats produce identical simulated output — the kernel is
-    deterministic); ``timings`` maps id -> {"runs": [...], "median_s": m}.
+    deterministic); ``timings`` maps id -> {"runs": [...], "median_s": m,
+    "events": n, "events_per_sec": n/m}.  ``events`` is the number of
+    kernel events the experiment fires (identical on every repeat), so
+    events/s is the headline simulator-throughput figure: it normalises
+    the wall clock by the simulated load and stays comparable when
+    experiments grow or shrink.
     """
+    from ..sim.core import total_events_processed
+
     results = {}
     timings = {}
     for key in wanted:
         module = ALL[key]
         runs = []
+        events = 0
         for _ in range(repeats):
+            e0 = total_events_processed()
             t0 = time.perf_counter()
             results[key] = module.run(quick=not full)
             runs.append(time.perf_counter() - t0)
+            events = total_events_processed() - e0
+        median = statistics.median(runs)
         timings[key] = {"runs": [round(r, 4) for r in runs],
-                        "median_s": round(statistics.median(runs), 4)}
+                        "median_s": round(median, 4),
+                        "events": events,
+                        "events_per_sec": (round(events / median)
+                                           if median > 0 else None)}
     return results, timings
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro.bench")
     parser.add_argument("experiments", nargs="*",
-                        help="experiment ids (r1..r18); default: all")
+                        help="experiment ids (r1..r22); default: all")
     parser.add_argument("--list", action="store_true", dest="list_exps",
                         help="list registered experiments with one-line "
                              "descriptions and exit")
@@ -156,11 +170,15 @@ def main(argv=None) -> int:
 
     if timings is not None:
         total = round(sum(t["median_s"] for t in timings.values()), 4)
+        total_events = sum(t["events"] for t in timings.values())
         report = {
             "mode": ("smoke" if args.smoke
                      else "full" if args.full else "quick"),
             "experiments": timings,
             "total_median_s": total,
+            "total_events": total_events,
+            "events_per_sec": (round(total_events / total)
+                               if total else None),
             "repeats": args.timing_repeats,
         }
         if args.smoke:
@@ -175,8 +193,11 @@ def main(argv=None) -> int:
             fh.write("\n")
         for key, t in timings.items():
             print(f"  {key}: median {t['median_s']:.3f}s over "
-                  f"{len(t['runs'])} runs")
-        print(f"total (sum of medians): {total:.3f}s -> {args.timing_out}")
+                  f"{len(t['runs'])} runs, {t['events']:,} events "
+                  f"({t['events_per_sec']:,}/s)")
+        print(f"total (sum of medians): {total:.3f}s, "
+              f"{total_events:,} events "
+              f"({report['events_per_sec']:,}/s) -> {args.timing_out}")
 
     if args.markdown:
         with open(args.markdown, "w") as fh:

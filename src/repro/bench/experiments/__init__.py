@@ -27,6 +27,7 @@ from . import (
     r19_chaos,
     r20_kvstore,
     r21_snapshots,
+    r22_kernel,
 )
 
 ALL = {
@@ -51,6 +52,7 @@ ALL = {
     "r19": r19_chaos,
     "r20": r20_kvstore,
     "r21": r21_snapshots,
+    "r22": r22_kernel,
 }
 
 __all__ = ["ALL"] + [f"r{i}_{n}" for i, n in []]

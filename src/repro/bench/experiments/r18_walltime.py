@@ -31,8 +31,13 @@ from ...util.units import KiB, MiB
 from ..result import ExperimentResult
 
 
-def _bare_kernel_events_per_sec(n_events: int) -> float:
-    """Drain ``n_events`` chained timeouts; return events per host second."""
+def _bare_kernel_events_per_sec(n_events: int):
+    """Drain ``n_events`` chained timeouts; return (events/s, events).
+
+    ``events`` is the kernel's fired-event count — the same figure
+    ``python -m repro.bench --timing`` records per experiment into
+    BENCH_wallclock.json, so the two reports use one events/s definition.
+    """
     from ...sim.core import Environment
 
     env = Environment()
@@ -45,9 +50,8 @@ def _bare_kernel_events_per_sec(n_events: int) -> float:
     t0 = time.perf_counter()
     env.run()
     wall = time.perf_counter() - t0
-    # every loop iteration schedules (at least) a timeout and a resume;
-    # env._seq counts every scheduled event, which is the honest load figure
-    return env._seq / wall if wall > 0 else float("inf")
+    fired = env.events_processed
+    return (fired / wall if wall > 0 else float("inf")), fired
 
 
 def _copy_path_mb_per_sec(msg_size: int, n_msgs: int) -> float:
@@ -78,12 +82,13 @@ def run(quick: bool = True) -> ExperimentResult:
     n_events = 50_000 if quick else 400_000
     n_msgs = 30 if quick else 200
 
-    evs = _bare_kernel_events_per_sec(n_events)
+    evs, fired = _bare_kernel_events_per_sec(n_events)
     small = _copy_path_mb_per_sec(4 * KiB, n_msgs)
     large = _copy_path_mb_per_sec(1 * MiB, max(4, n_msgs // 8))
 
     rows = [
         ["bare kernel", f"{evs:,.0f}", "events/s"],
+        ["bare kernel", f"{fired:,}", "events fired"],
         ["copy path 4 KiB puts", f"{small:,.1f}", "MB/s"],
         ["copy path 1 MiB puts", f"{large:,.1f}", "MB/s"],
     ]

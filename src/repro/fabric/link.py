@@ -8,10 +8,22 @@ latency.  Because every link buffers and serialises independently, chunks
 pipeline across multi-hop paths (cut-through behaviour) and contention on a
 shared hop (e.g. the destination's downlink during an incast) emerges
 naturally from queueing.
+
+Event economy: the clean server drains a whole back-to-back burst of
+queued chunks in one go and schedules **one** serialisation event for the
+burst; per-chunk exit times are reconstructed arithmetically (chunk *i*
+finishes at ``t0 + ser_1 + ... + ser_i``) and each delivery is a single
+raw timer callback instead of a spawned process.  The inbox's occupancy
+semantics are preserved exactly via :meth:`~repro.sim.resources.Store.
+set_holds` — a producer blocked on a full queue is admitted at the same
+simulated instant as under per-chunk draining.  Chaos/gray modes and
+faulty (drop-rate) links fall back to per-chunk serving, which keeps
+their RNG draw order and drop points identical to the historical model.
 """
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, List, Optional
 
 from ..sim.core import Environment
@@ -134,70 +146,166 @@ class Link:
 
     def _server_clean(self):
         env = self.env
-        inbox_get = self.inbox.get
+        inbox = self.inbox
+        items = inbox.items
+        inbox_get = inbox.get
+        timeout = env.timeout
         counters = self.counters
         bw = self.params.bandwidth_gbps
+        lat = self.latency_ns
+        deliver = self._deliver
+        bounded = inbox.capacity is not None
+        # ``end`` is the wire's virtually-committed busy-until time: the
+        # server never sleeps through a serialisation, it just extends the
+        # schedule arithmetically and arms one delivery timer per chunk.
+        end = 0
+        try_get = inbox.try_get
         while True:
-            chunk: Chunk = yield inbox_get()
+            if inbox._put_queue and end > env.now:
+                # saturated queue: a parked producer must be admitted
+                # exactly when the wire schedule frees its slot, so fall
+                # back to per-chunk cadence until the backlog clears
+                yield timeout(end - env.now)
+            chunk: Chunk = try_get()
+            if chunk is None:
+                chunk = yield inbox_get()
             chaos = self.chaos
             if chaos is not None:
+                # gray failure armed: revert to per-chunk serving, but
+                # first let the virtually-committed backlog clear the wire
+                # so serialisations stay strictly sequential
+                if end > env.now:
+                    yield timeout(end - env.now)
                 if not chaos.up:
                     self._drops += 1
                     counters.add("link.chaos_drops")
                     continue
                 ser = serialization_ns(chunk.wire_bytes,
                                        bw * chaos.bw_scale)
+                self._busy_ns += ser
+                self._chunks += 1
+                self._bytes += chunk.wire_bytes
+                counters.add("link.chunks")
+                counters.add("link.bytes", chunk.wire_bytes)
+                yield timeout(ser)
+                end = env.now
+                # Propagation overlaps with serialising the next chunk.
+                env.process(self._propagate(chunk), name=f"prop:{self.name}")
+                continue
+            now = env.now
+            if items and not inbox._put_queue:
+                # back-to-back burst: drain it in one go (no per-item
+                # StoreGet events)
+                burst = [chunk]
+                burst.extend(items)
+                items.clear()
             else:
-                ser = serialization_ns(chunk.wire_bytes, bw)
+                burst = (chunk,)
+            # Chunk i starts serialising when the wire frees up and exits
+            # at start + ser_i; delivery at exit + latency via one raw
+            # timer callback (no per-chunk process or serialisation sleep).
+            t = start0 = end if end > now else now
+            nbytes = 0
+            holds = None
+            for c in burst:
+                if t > now and bounded:
+                    # occupancy contract: under one-at-a-time serving this
+                    # chunk would leave the queue only at its serialisation
+                    # start — keep its slot virtually occupied until then
+                    if holds is None:
+                        holds = [t]
+                    else:
+                        holds.append(t)
+                t += serialization_ns(c.wire_bytes, bw)
+                nbytes += c.wire_bytes
+                dt = timeout(t + lat - now)
+                dt.callbacks.append(partial(deliver, c))
+            end = t
+            self._busy_ns += t - start0
+            self._chunks += len(burst)
+            self._bytes += nbytes
+            counters.add("link.chunks", len(burst))
+            counters.add("link.bytes", nbytes)
+            if holds is not None:
+                inbox.add_holds(holds)
+
+    def _deliver(self, chunk: Chunk, _ev) -> None:
+        """Timer callback: chunk exits this link (batched fast path)."""
+        chaos = self.chaos
+        if chaos is not None and not chaos.up:
+            # the link went dark after this chunk's burst was committed:
+            # per-chunk serving would have dropped it at the server, so
+            # drop it here rather than leak traffic across a partition
+            self._drops += 1
+            self.counters.add("link.chaos_drops")
+            return
+        chunk.hop += 1
+        if chunk.hop < len(chunk.path):
+            nxt = chunk.path[chunk.hop]
+            # fire-and-forget put: admission order and backpressure are
+            # enforced by the store's FIFO put queue, and nothing ever
+            # waited on the old propagate process either
+            nxt.inbox.put_discard(chunk)
+        else:
+            if self.sink is None:
+                raise RuntimeError(f"link {self.name}: no sink at end of path")
+            self.sink(chunk)
+
+    def _server_faulty(self):
+        env = self.env
+        inbox_get = self.inbox.get
+        timeout = env.timeout
+        counters = self.counters
+        # ``params`` is a frozen dataclass, but fault-injection harnesses
+        # hack ``drop_rate`` mid-run via object.__setattr__ to heal the
+        # fabric — so the drop knobs are re-read per chunk; only the truly
+        # invariant lookups (queue, counters, bandwidth, RNG) are hoisted.
+        params = self.params
+        bw0 = params.bandwidth_gbps
+        rng_random = self.rng.random
+        while True:
+            chunk: Chunk = yield inbox_get()
+            bw = bw0
+            chaos = self.chaos
+            if chaos is not None:
+                if not chaos.up:
+                    self._drops += 1
+                    counters.add("link.chaos_drops")
+                    continue
+                bw *= chaos.bw_scale
+            ser = serialization_ns(chunk.wire_bytes, bw)
+            drop_rate = params.drop_rate
+            if drop_rate > 0.0:
+                if params.loss_mode == "lossy":
+                    # genuine loss: the chunk still occupies the wire for
+                    # its serialisation time, then vanishes.  Recovery (if
+                    # any) is end-to-end at the sending NIC.
+                    if rng_random() < drop_rate:
+                        self._drops += 1
+                        counters.add("link.drops")
+                        counters.add("link.lost_bytes", chunk.wire_bytes)
+                        self._busy_ns += ser
+                        yield timeout(ser)
+                        continue
+                else:
+                    # reliable mode: a dropped chunk costs the recovery
+                    # timeout plus a fresh serialisation before it finally
+                    # goes through.  Every failed attempt occupies the wire
+                    # (_busy_ns grows by ser per attempt) and the wasted
+                    # bytes are tallied separately — ``link.bytes`` stays
+                    # goodput-only.
+                    while rng_random() < drop_rate:
+                        self._drops += 1
+                        counters.add("link.drops")
+                        counters.add("link.retrans_bytes", chunk.wire_bytes)
+                        self._busy_ns += ser
+                        yield timeout(ser + params.retransmit_ns)
             self._busy_ns += ser
             self._chunks += 1
             self._bytes += chunk.wire_bytes
             counters.add("link.chunks")
             counters.add("link.bytes", chunk.wire_bytes)
-            yield env.timeout(ser)
-            # Propagation overlaps with serialising the next chunk.
-            env.process(self._propagate(chunk), name=f"prop:{self.name}")
-
-    def _server_faulty(self):
-        env = self.env
-        while True:
-            chunk: Chunk = yield self.inbox.get()
-            bw = self.params.bandwidth_gbps
-            chaos = self.chaos
-            if chaos is not None:
-                if not chaos.up:
-                    self._drops += 1
-                    self.counters.add("link.chaos_drops")
-                    continue
-                bw *= chaos.bw_scale
-            ser = serialization_ns(chunk.wire_bytes, bw)
-            if self.params.drop_rate > 0.0:
-                if self.params.loss_mode == "lossy":
-                    # genuine loss: the chunk still occupies the wire for
-                    # its serialisation time, then vanishes.  Recovery (if
-                    # any) is end-to-end at the sending NIC.
-                    if self.rng.random() < self.params.drop_rate:
-                        self._drops += 1
-                        self.counters.add("link.drops")
-                        self.counters.add("link.lost_bytes", chunk.wire_bytes)
-                        self._busy_ns += ser
-                        yield env.timeout(ser)
-                        continue
-                else:
-                    # reliable mode: a dropped chunk costs the recovery
-                    # timeout plus a fresh serialisation before it finally
-                    # goes through
-                    while self.rng.random() < self.params.drop_rate:
-                        self._drops += 1
-                        self.counters.add("link.drops")
-                        self._busy_ns += ser
-                        yield env.timeout(ser + self.params.retransmit_ns)
-            self._busy_ns += ser
-            self._chunks += 1
-            self._bytes += chunk.wire_bytes
-            self.counters.add("link.chunks")
-            self.counters.add("link.bytes", chunk.wire_bytes)
-            yield env.timeout(ser)
+            yield timeout(ser)
             # Propagation overlaps with serialising the next chunk.
             env.process(self._propagate(chunk), name=f"prop:{self.name}")
 

@@ -56,6 +56,16 @@ class Memory:
         self._mm = mmap.mmap(-1, size)
         self.data = memoryview(self._mm)
         self._brk = 0
+        #: bumped when a mutation touches a watched range (or on reset).
+        #: Pollers that watch memory-resident structures (ledger rings)
+        #: compare it to skip re-scanning when nothing relevant landed
+        #: since their last look — see :meth:`watch`.
+        self.watch_version = 0
+        self._watch_ranges: set = set()
+        self._watch_list: list = []
+        # envelope over all watched ranges: one compare rejects most writes
+        self._watch_lo = self.size
+        self._watch_hi = 0
         #: page -> number of registrations pinning it.  Refcounted so
         #: overlapping MRs (the registration cache merges and splits
         #: regions) account correctly: a page stays pinned until the last
@@ -87,6 +97,7 @@ class Memory:
         if self._brk:
             self._mm[:self._brk] = b"\x00" * self._brk
         self._pinned_pages.clear()
+        self.watch_version += 1
 
     # -- access ---------------------------------------------------------------
     def _check(self, addr: int, length: int) -> None:
@@ -96,6 +107,33 @@ class Memory:
             raise MemoryError_(
                 f"rank {self.rank}: access [{addr}, {addr + length}) outside "
                 f"[0, {self.size})")
+
+    def watch(self, addr: int, length: int) -> None:
+        """Register [addr, addr+length) as a watched range.
+
+        Any later mutation intersecting a watched range bumps
+        :attr:`watch_version`; pollers snapshot the counter to skip
+        re-reading structures nothing has written to.  Re-registering an
+        identical range (ring re-arm after a crash) is a no-op.
+        """
+        self._check(addr, length)
+        r = (addr, addr + length)
+        if r in self._watch_ranges:
+            return
+        self._watch_ranges.add(r)
+        self._watch_list.append(r)
+        if r[0] < self._watch_lo:
+            self._watch_lo = r[0]
+        if r[1] > self._watch_hi:
+            self._watch_hi = r[1]
+        self.watch_version += 1
+
+    def _touch(self, addr: int, end: int) -> None:
+        if addr < self._watch_hi and end > self._watch_lo:
+            for lo, hi in self._watch_list:
+                if addr < hi and end > lo:
+                    self.watch_version += 1
+                    return
 
     def read(self, addr: int, length: int) -> memoryview:
         """Zero-copy view of [addr, addr+length).
@@ -126,6 +164,8 @@ class Memory:
             # overlapping views of one mmap is not defined to memmove
             payload = payload.tobytes()
         self.data[addr:addr + n] = payload
+        if addr < self._watch_hi:
+            self._touch(addr, addr + n)
 
     def read_u64(self, addr: int) -> int:
         self._check(addr, 8)
@@ -134,6 +174,8 @@ class Memory:
     def write_u64(self, addr: int, value: int) -> None:
         self._check(addr, 8)
         _U64.pack_into(self.data, addr, value & 0xFFFFFFFFFFFFFFFF)
+        if addr < self._watch_hi:
+            self._touch(addr, addr + 8)
 
     # -- pinning cost model -----------------------------------------------------
     def _page_range(self, addr: int, length: int) -> range:

@@ -820,6 +820,8 @@ class RaftNode:
     def take_applied(self) -> List[Tuple[int, bytes]]:
         """Newly committed (index, command) pairs since the last call."""
         out = self._applied_out
+        if not out:
+            return out  # callers only iterate: the empty list is safe to share
         self._applied_out = []
         return out
 
@@ -858,6 +860,8 @@ class RaftNode:
         ``(index, term, blob, t_start_ns)`` — the caller must replace
         its state machine with the deserialized blob."""
         out = self._installed_out
+        if not out:
+            return out  # see take_applied
         self._installed_out = []
         return out
 

@@ -124,6 +124,10 @@ class PeerState:
     #: consumer-side dedup: ids <= rx_hwm or in rx_seen were delivered
     rx_hwm: int = 0
     rx_seen: Set[int] = field(default_factory=set)
+    #: ``local`` rings in scan order, cached so the progress loop's
+    #: nothing-ready bail skips the dict walks (rings are reset in place
+    #: on re-arm, so the tuple never goes stale)
+    scan_rings: tuple = ()
 
 
 class PhotonBase:
@@ -136,6 +140,15 @@ class PhotonBase:
         self.config = config
         self.rank = node.rank
         self.env: Environment = cluster.env
+        # hot-path caches for _progress_once: these knobs are fixed for
+        # the life of the endpoint (config and NicParams are only ever
+        # set at construction), and every poll pass reads them
+        self._poll_ns = config.progress_poll_ns
+        self._cqe_poll_ns = cluster.params.nic.cqe_poll_ns
+        self._use_imm = config.use_imm
+        self._imm_prepost = config.imm_prepost
+        # memory.version as of the last ledger scan (see _progress_once)
+        self._scanned_version = -1
         self.context = node.context
         self.memory = node.memory
         # this rank's counter scope: writes mirror into cluster.counters
@@ -252,6 +265,7 @@ class PhotonBase:
                 credit_fraction=self.config.credit_fraction)
             peer.credit_staging[name] = self._layout[
                 (other.rank, name, "credit_stage")]
+        peer.scan_rings = tuple(peer.local[n] for n in RING_NAMES)
         self.peers[other.rank] = peer
         if self.config.use_imm:
             for _ in range(self.config.imm_prepost):
@@ -709,15 +723,37 @@ class PhotonBase:
         return False
 
     # ------------------------------------------------------------- progress
-    def _progress_once(self):
+    def progress_pending(self) -> bool:
+        """True when a progress pass could do more than charge poll time.
+
+        Pure check, no time cost: polling servers use it to fuse an idle
+        pass's poll-interval charge into their own backoff sleep instead
+        of paying a kernel event for a pass that cannot find work.  The
+        check mirrors the sections of :meth:`_progress_once` exactly —
+        CQ entries, a ledger write since the last scan (watch version),
+        or any reliable op whose deadline machinery needs the scan.
+        """
+        return bool(self.send_cq._entries
+                    or (self._use_imm and self.recv_cq._entries)
+                    or self.memory.watch_version != self._scanned_version
+                    or self._reliable)
+
+    def _progress_once(self, charge_poll: bool = True):
         """One polling pass: CQs, ledgers, then retry deadlines (generator,
-        charges time)."""
+        charges time).
+
+        ``charge_poll=False`` skips the leading poll-interval sleep for
+        callers that have already charged it themselves (the KV server
+        loop fuses it into its idle backoff) — the pass's checks then run
+        at exactly the instant they would have anyway.
+        """
         env = self.env
-        nic = self.cluster.params.nic
-        yield env.timeout(self.config.progress_poll_ns)
+        cqe_ns = self._cqe_poll_ns
+        if charge_poll:
+            yield env.timeout(self._poll_ns)
         # 1) source completions (successes and errors)
         for wc in self.send_cq.poll(max_entries=32):
-            yield env.timeout(nic.cqe_poll_ns)
+            yield env.timeout(cqe_ns)
             entry = self._ops.pop(wc.wr_id, None)
             peer = self.peers.get(wc.src_rank)
             if peer is not None and peer.outstanding > 0:
@@ -737,29 +773,47 @@ class PhotonBase:
                 if on_error is not None:
                     on_error()
         # 2) immediate-mode remote completions (+ flushed receives)
-        if self.config.use_imm:
-            for wc in self.recv_cq.poll(max_entries=32):
-                yield env.timeout(nic.cqe_poll_ns)
-                peer = self.peers.get(wc.src_rank)
-                if peer is not None:
-                    peer.preposted -= 1
-                if not wc.ok:
-                    self.counters.add("photon.recv_flushes")
+        if self._use_imm:
+            wcs = self.recv_cq.poll(max_entries=32)
+            if wcs:
+                for wc in wcs:
+                    yield env.timeout(cqe_ns)
+                    peer = self.peers.get(wc.src_rank)
                     if peer is not None:
-                        self._reconnect_peer(peer)
-                    continue
-                if wc.opcode is WCOpcode.RECV_RDMA_WITH_IMM:
-                    self.remote_cids.append((wc.imm, wc.src_rank))
-                    self.counters.add("photon.remote_cids")
-            # top preposts back up (also refills after a reconnect)
+                        peer.preposted -= 1
+                    if not wc.ok:
+                        self.counters.add("photon.recv_flushes")
+                        if peer is not None:
+                            self._reconnect_peer(peer)
+                        continue
+                    if wc.opcode is WCOpcode.RECV_RDMA_WITH_IMM:
+                        self.remote_cids.append((wc.imm, wc.src_rank))
+                        self.counters.add("photon.remote_cids")
+                # top preposts back up.  Only needed when this pass reaped
+                # receive completions: every other path that lowers
+                # ``preposted`` (init, reconnect, rejoin) refills inline.
+                for peer in self.peers.values():
+                    if peer.qp.state is QPState.READY:
+                        while peer.preposted < self._imm_prepost:
+                            peer.qp.post_recv(RecvWR())
+                            peer.preposted += 1
+        # 3) ledger scans — ring state only changes when bytes land in a
+        # ring region of this rank's memory (rings are watched ranges, so
+        # such writes bump ``watch_version``) and entries are only ever
+        # consumed inside _scan_peer below, so an unchanged version since
+        # the last scan means every ring poll would miss: skip the whole
+        # per-ring loop.  The version is snapshotted *before* scanning —
+        # anything that lands while a scan yields leaves the version
+        # ahead of the snapshot and forces a rescan on the next pass, so
+        # nothing is ever missed.
+        mem_version = self.memory.watch_version
+        if mem_version != self._scanned_version:
+            self._scanned_version = mem_version
             for peer in self.peers.values():
-                if peer.qp.state is QPState.READY:
-                    while peer.preposted < self.config.imm_prepost:
-                        peer.qp.post_recv(RecvWR())
-                        peer.preposted += 1
-        # 3) ledger scans
-        for peer in self.peers.values():
-            yield from self._scan_peer(peer)
+                for ring in peer.scan_rings:
+                    if ring.ready() or ring.credit_due():
+                        yield from self._scan_peer(peer)
+                        break
         # 4) retry-deadline scan (skipped when re-entered from a replay's
         # own backpressure wait)
         if self._reliable and not self._in_deadline_scan:

@@ -22,11 +22,15 @@ partially placed entry is never consumed (see :mod:`repro.photon.wire`).
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import Tuple
 
 from ..fabric.memory import Memory
 from ..sim.core import SimulationError
+
+#: must match :mod:`repro.fabric.memory`'s sequence-word layout
+_U64 = struct.Struct("<Q")
 
 __all__ = ["RingSpec", "RemoteRing", "LocalRing"]
 
@@ -102,7 +106,16 @@ class RemoteRing:
 
 
 class LocalRing:
-    """Consumer-side view of a ring in this rank's memory."""
+    """Consumer-side view of a ring in this rank's memory.
+
+    :meth:`ready` is the single hottest call in a Photon run — every
+    progress pass polls it for all four rings of every peer, and almost
+    every poll misses.  The head-slot address is therefore maintained
+    incrementally (slot addresses precomputed once; no modulo per poll)
+    and the sequence word is read straight off the rank memoryview,
+    skipping the :class:`~repro.fabric.memory.Memory` bounds check —
+    every address in ``_addrs`` was validated by construction.
+    """
 
     def __init__(self, spec: RingSpec, base: int, memory: Memory,
                  producer_credit_addr: int, producer_rkey: int,
@@ -116,20 +129,35 @@ class LocalRing:
         self.consumed = 0
         self.credit_sent = 0
         self._credit_every = max(1, int(spec.nslots * credit_fraction))
+        # fast-poll state: Memory.data is created once and never replaced
+        # (crash wipes the mmap in place), so the view stays valid
+        memory._check(base, spec.nbytes)
+        # writes landing in the ring bump memory.watch_version, letting
+        # the progress loop skip whole scan passes (see PhotonBase)
+        memory.watch(base, spec.nbytes)
+        self._addrs = tuple(base + spec.slot_offset(i)
+                            for i in range(spec.nslots))
+        self._head_idx = 0
+        self._data = memory.data
+        self._unpack = _U64.unpack_from
 
     def head_addr(self) -> int:
-        return self.base + self.spec.slot_offset(self.consumed)
+        return self._addrs[self._head_idx]
 
     def ready(self) -> bool:
         """Is the entry at the read index complete?"""
-        return self.memory.read_u64(self.head_addr()) == self.consumed + 1
+        return (self._unpack(self._data, self._addrs[self._head_idx])[0]
+                == self.consumed + 1)
 
     def read_head(self) -> bytes:
         """Raw bytes of the head slot (caller checked :meth:`ready`)."""
-        return self.memory.read(self.head_addr(), self.spec.entry_size)
+        return self.memory.read(self._addrs[self._head_idx],
+                                self.spec.entry_size)
 
     def advance(self) -> None:
         self.consumed += 1
+        i = self._head_idx + 1
+        self._head_idx = 0 if i == len(self._addrs) else i
 
     def credit_due(self) -> bool:
         return self.consumed - self.credit_sent >= self._credit_every
@@ -143,3 +171,4 @@ class LocalRing:
         """Re-arm after a crash on either side (see ``RemoteRing.reset``)."""
         self.consumed = 0
         self.credit_sent = 0
+        self._head_idx = 0

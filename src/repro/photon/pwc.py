@@ -251,6 +251,8 @@ class PwcMixin:
         return self._pop_message(match)
 
     def _find_message(self, match=None) -> Optional[int]:
+        if not self.messages:
+            return None
         for i, (src, cid, _data) in enumerate(self.messages):
             if match is None or match(src, cid):
                 return i

@@ -64,12 +64,20 @@ class Runtime:
         if self.counters is not None:
             self.counters.add("rt.parcels_run")
 
-    def progress(self):
-        """Process at most one parcel (generator → bool processed)."""
+    def progress(self, charge_poll: bool = True):
+        """Process at most one parcel (generator → bool processed).
+
+        ``charge_poll=False`` is forwarded to transports that support
+        pre-charged polling (the KV server loop pays the poll interval
+        itself so an idle pass costs one kernel event, not two).
+        """
         if self._local:
             yield from self._dispatch(self._local.popleft())
             return True
-        raw = yield from self.transport.poll()
+        if charge_poll:
+            raw = yield from self.transport.poll()
+        else:
+            raw = yield from self.transport.poll(charge_poll=False)
         if raw is None:
             return False
         yield from self._dispatch(Parcel.decode(raw))

@@ -32,6 +32,11 @@ __all__ = ["PhotonTransport", "MpiTransport", "PeerDownError", "PARCEL_TAG"]
 PARCEL_TAG = (1 << 50) + 7
 
 
+def _parcel_match(_src: int, cid: int) -> bool:
+    """Probe predicate for parcel traffic (hoisted: poll() is hot)."""
+    return cid == PARCEL_TAG
+
+
 class PeerDownError(SimulationError):
     """Raised by ``send`` when the peer's circuit breaker is open."""
 
@@ -227,6 +232,17 @@ class PhotonTransport:
 
     def _reap_eager(self):
         """Settle tracked eager ops; returns parcels needing a resend."""
+        ops = self._eager_ops
+        if not ops:
+            return ()
+        # common case per poll: every tracked op is still in flight —
+        # detect that without churning the deque
+        op_status = self.ph.op_status
+        for dst, op, _raw, _attempts in ops:
+            if op_status(dst, op) is not None:
+                break
+        else:
+            return ()
         resend = []
         still: deque = deque()
         while self._eager_ops:
@@ -249,22 +265,36 @@ class PhotonTransport:
         return resend
 
     # ----------------------------------------------------------------- poll
-    def poll(self):
+    def poll_pending(self) -> bool:
+        """True when :meth:`poll` could do more than charge poll time.
+
+        Pure check (no yields): eager sends awaiting settlement, queued
+        messages or rendezvous advertisements, in-flight landing fetches,
+        or anything the endpoint's own progress pass could act on.
+        """
+        ph = self.ph
+        return bool(self._eager_ops or self._fetches or ph.messages
+                    or ph.infos or ph.progress_pending())
+
+    def poll(self, charge_poll: bool = True):
         """One progress pass; returns an encoded parcel or None (generator).
 
         Large parcels arrive as rendezvous advertisements; fetches are
         issued concurrently into the landing ring (pipelined, like an
         irecv window) and completed ones are handed out in issue order.
         Failed sends/fetches detected here drive the retry and breaker
-        machinery.
+        machinery.  ``charge_poll=False``: the caller already charged the
+        poll interval (see :meth:`PhotonEndpoint._progress_once`).
         """
         # settle eager sends and re-ship the ones Photon gave up on
         for dst, raw, attempts in self._reap_eager():
             op = yield from self.ph.send_pwc(dst, raw, remote_cid=PARCEL_TAG)
             if op is not None:
                 self._eager_ops.append((dst, op, raw, attempts))
-        got = yield from self.ph.probe_message(
-            lambda s, c: c == PARCEL_TAG)
+        # inlined ph.probe_message(_parcel_match): one fewer generator
+        # set-up on the hottest polling chain in the runtime
+        yield from self.ph._progress_once(charge_poll)
+        got = self.ph._pop_message(_parcel_match)
         if got is not None:
             return got[2]
         # launch fetches for any newly advertised rendezvous parcels

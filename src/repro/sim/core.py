@@ -18,11 +18,27 @@ Determinism: events scheduled for the same timestamp fire in FIFO order of
 scheduling (a monotone sequence number breaks ties), so a given program
 produces an identical trace on every run.  The clock is an ``int`` of
 nanoseconds — no floating-point time drift.
+
+Two interchangeable scheduler backends implement that contract (the
+``queue`` knob on :class:`Environment`):
+
+- ``"calendar"`` (default) — a calendar/bucket queue: events due *now*
+  live on two plain FIFO deques (one per priority), future events hash
+  into per-timestamp buckets ordered by a small heap of distinct
+  timestamps.  Insert and pop are O(1) amortized; the timestamp heap only
+  pays O(log t) per *distinct* future instant, which also covers
+  far-future timers (phi deadlines, leases) without a separate overflow
+  structure.
+- ``"heap"`` — the original binary heap of ``(time, priority, seq,
+  event)`` tuples, kept as the executable reference; the property suite
+  asserts both backends fire events in byte-identical order.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+from collections import deque
 from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
@@ -36,7 +52,23 @@ __all__ = [
     "AnyOf",
     "Interrupt",
     "SimulationError",
+    "DEFAULT_QUEUE",
+    "total_events_processed",
 ]
+
+#: scheduler backend used when :class:`Environment` is built without an
+#: explicit ``queue`` argument; override per-process with the
+#: ``REPRO_SIM_QUEUE`` environment variable ("calendar" or "heap")
+DEFAULT_QUEUE = os.environ.get("REPRO_SIM_QUEUE", "calendar")
+
+#: process-wide count of events fired across every Environment — the
+#: denominator-free load figure behind the events/s headline metric
+_PROCESSED_TOTAL = 0
+
+
+def total_events_processed() -> int:
+    """Events fired across all Environments since interpreter start."""
+    return _PROCESSED_TOTAL
 
 
 class SimulationError(Exception):
@@ -109,11 +141,18 @@ class Event:
     # -- triggering --------------------------------------------------------
     def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
         """Decide the event successfully with ``value`` and schedule it now."""
-        if self.triggered:
+        if self._value is not Event._PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self, 0, priority)
+        env = self.env
+        if env._queue is None and not self._scheduled:
+            # calendar backend, delay 0: a plain FIFO append (inlined from
+            # _schedule — succeed is one of the hottest kernel entry points)
+            self._scheduled = True
+            env._cur[priority].append(self)
+        else:
+            env._schedule(self, 0, priority)
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
@@ -328,12 +367,30 @@ class Environment:
     """
 
     #: cap on recycled Timeout objects kept per environment
-    _FREELIST_MAX = 512
+    _FREELIST_MAX = 8192
 
-    def __init__(self, initial_time: int = 0):
+    def __init__(self, initial_time: int = 0, queue: Optional[str] = None):
         self._now = int(initial_time)
-        self._queue: List = []  # (time, priority, seq, event)
+        mode = DEFAULT_QUEUE if queue is None else queue
+        if mode not in ("calendar", "heap"):
+            raise SimulationError(f"unknown queue backend {mode!r}")
+        self.queue_mode = mode
+        #: heap backend: list of (time, priority, seq, event); None when
+        #: the calendar backend is active
+        self._queue: Optional[List] = [] if mode == "heap" else None
+        #: calendar backend: events due at the current instant, one FIFO
+        #: deque per priority (URGENT, NORMAL) — (priority, seq) order at
+        #: one timestamp is exactly "drain urgent first, each in append
+        #: order", because seq order *is* append order
+        self._cur = (deque(), deque())
+        #: calendar backend: future timestamp -> ([urgent], [normal])
+        self._buckets: dict = {}
+        #: calendar backend: min-heap over the distinct future timestamps
+        #: (each pushed exactly once, when its bucket is created)
+        self._ts_heap: List[int] = []
         self._seq = 0
+        #: events fired on this environment (the events/s numerator)
+        self.events_processed = 0
         self._active_process: Optional[Process] = None
         # Timeouts dominate event traffic (every modelled cost is one), so
         # processed instances are recycled instead of reallocated.  An
@@ -365,7 +422,21 @@ class Environment:
             t.delay = delay
             t._ok = True
             t._value = value
-            self._schedule(t, delay, NORMAL)
+            if self._queue is None:
+                # calendar backend: inlined _schedule (recycled timeouts
+                # are the single most common scheduling operation)
+                t._scheduled = True
+                if delay == 0:
+                    self._cur[NORMAL].append(t)
+                else:
+                    ts = self._now + delay
+                    bucket = self._buckets.get(ts)
+                    if bucket is None:
+                        self._buckets[ts] = bucket = ([], [])
+                        heapq.heappush(self._ts_heap, ts)
+                    bucket[NORMAL].append(t)
+            else:
+                self._schedule(t, delay, NORMAL)
             return t
         return Timeout(self, int(delay), value)
 
@@ -384,20 +455,68 @@ class Environment:
             raise SimulationError(f"{event!r} scheduled twice")
         event._scheduled = True
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        queue = self._queue
+        if queue is not None:  # heap backend
+            heapq.heappush(queue, (self._now + delay, priority, self._seq, event))
+        elif delay == 0:
+            # due at the current instant: plain FIFO append, no heap op
+            self._cur[priority].append(event)
+        else:
+            t = self._now + delay
+            bucket = self._buckets.get(t)
+            if bucket is None:
+                self._buckets[t] = bucket = ([], [])
+                heapq.heappush(self._ts_heap, t)
+            bucket[priority].append(event)
+
+    def _pending(self) -> bool:
+        """True while any event is queued (either backend)."""
+        if self._queue is not None:
+            return bool(self._queue)
+        cur = self._cur
+        return bool(cur[0] or cur[1] or self._ts_heap)
+
+    def _advance_bucket(self) -> None:
+        """Calendar backend: move the earliest future bucket onto the
+        current-instant deques, advancing the clock to it."""
+        t = heapq.heappop(self._ts_heap)
+        urgent, normal = self._buckets.pop(t)
+        self._now = t
+        if urgent:
+            self._cur[0].extend(urgent)
+        if normal:
+            self._cur[1].extend(normal)
 
     def peek(self) -> Optional[int]:
         """Timestamp of the next event, or None if the queue is empty."""
-        return self._queue[0][0] if self._queue else None
+        if self._queue is not None:
+            return self._queue[0][0] if self._queue else None
+        cur = self._cur
+        if cur[0] or cur[1]:
+            return self._now
+        return self._ts_heap[0] if self._ts_heap else None
 
     def step(self) -> None:
         """Fire the single next event (advancing the clock to it)."""
-        if not self._queue:
-            raise SimulationError("step() on empty event queue")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
-        if when < self._now:  # pragma: no cover - defensive
-            raise SimulationError("time went backwards")
-        self._now = when
+        global _PROCESSED_TOTAL
+        queue = self._queue
+        if queue is not None:
+            if not queue:
+                raise SimulationError("step() on empty event queue")
+            when, _prio, _seq, event = heapq.heappop(queue)
+            if when < self._now:  # pragma: no cover - defensive
+                raise SimulationError("time went backwards")
+            self._now = when
+        else:
+            cur_urgent, cur_normal = self._cur
+            if not cur_urgent and not cur_normal:
+                if not self._ts_heap:
+                    raise SimulationError("step() on empty event queue")
+                self._advance_bucket()
+            event = (cur_urgent.popleft() if cur_urgent
+                     else cur_normal.popleft())
+        self.events_processed += 1
+        _PROCESSED_TOTAL += 1
         callbacks, event.callbacks = event.callbacks, None
         for fn in callbacks:
             fn(event)
@@ -427,6 +546,11 @@ class Environment:
         ns, or an :class:`Event` — in the latter case ``run`` returns the
         event's value (raising its exception if it failed).
         """
+        if self._queue is not None:
+            return self._run_heap(until)
+        return self._run_calendar(until)
+
+    def _run_heap(self, until: Any) -> Any:
         queue = self._queue
         step = self.step
         if until is None:
@@ -450,4 +574,89 @@ class Environment:
         while queue and queue[0][0] <= deadline:
             step()
         self._now = deadline
+        return None
+
+    def _run_calendar(self, until: Any) -> Any:
+        """Calendar-backend drain loop.
+
+        The hot loop is localized: deques, buckets, the timestamp heap and
+        the Timeout freelist are all bound to locals, and the event-firing
+        tail is inlined rather than calling :meth:`step` — at millions of
+        events per run the attribute lookups and the extra frame are a
+        measurable share of wall time.  The firing tail must stay inline
+        anyway: the freelist's ``getrefcount(event) == 2`` guard counts on
+        exactly one frame (this one) holding the ``event`` local.
+        """
+        global _PROCESSED_TOTAL
+        stop: Optional[Event] = None
+        deadline: Optional[int] = None
+        if isinstance(until, Event):
+            stop = until
+        elif until is not None:
+            deadline = int(until)
+            if deadline < self._now:
+                raise SimulationError("run(until=...) deadline is in the past")
+        cur_urgent, cur_normal = self._cur
+        buckets = self._buckets
+        ts_heap = self._ts_heap
+        freelist = self._timeout_freelist
+        freelist_max = self._FREELIST_MAX
+        heappop = heapq.heappop
+        pending_sentinel = Event._PENDING
+        processed = 0
+        try:
+            while True:
+                if stop is not None and stop._processed:
+                    break
+                if cur_urgent:
+                    event = cur_urgent.popleft()
+                elif cur_normal:
+                    event = cur_normal.popleft()
+                elif ts_heap:
+                    if deadline is not None and ts_heap[0] > deadline:
+                        break
+                    t = heappop(ts_heap)
+                    urgent, normal = buckets.pop(t)
+                    self._now = t
+                    if urgent:
+                        cur_urgent.extend(urgent)
+                        # drop the bucket's refs: they would otherwise
+                        # linger in these locals and defeat the freelist's
+                        # refcount guard for every event of the bucket
+                        urgent.clear()
+                    if normal:
+                        cur_normal.extend(normal)
+                        normal.clear()
+                    continue
+                else:
+                    if stop is not None:
+                        raise SimulationError(
+                            "event queue drained before the awaited event "
+                            "fired (deadlock in the model?)")
+                    break
+                processed += 1
+                callbacks, event.callbacks = event.callbacks, None
+                for fn in callbacks:
+                    fn(event)
+                event._processed = True
+                if event._ok is False and not callbacks:
+                    raise event._value
+                # see step() for the freelist recycling contract
+                if (type(event) is Timeout and getrefcount(event) == 2
+                        and len(freelist) < freelist_max):
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                    event._value = pending_sentinel
+                    event._scheduled = False
+                    event._processed = False
+                    freelist.append(event)
+        finally:
+            self.events_processed += processed
+            _PROCESSED_TOTAL += processed
+        if stop is not None:
+            if stop._ok:
+                return stop._value
+            raise stop._value
+        if deadline is not None:
+            self._now = deadline
         return None

@@ -13,6 +13,9 @@ from .errors import QueueFullError
 
 __all__ = ["WorkCompletion", "CompletionQueue"]
 
+#: shared result for polls of an empty CQ (callers only iterate it)
+_EMPTY_POLL: tuple = ()
+
 
 @dataclass(frozen=True)
 class WorkCompletion:
@@ -65,9 +68,14 @@ class CompletionQueue:
 
     def poll(self, max_entries: int = 16) -> List[WorkCompletion]:
         """Reap up to ``max_entries`` completions (possibly empty)."""
+        entries = self._entries
+        if not entries:
+            # hot path: almost every progress pass polls an empty CQ —
+            # hand back a shared immutable empty so no list is allocated
+            return _EMPTY_POLL
         out: List[WorkCompletion] = []
-        while self._entries and len(out) < max_entries:
-            out.append(self._entries.popleft())
+        while entries and len(out) < max_entries:
+            out.append(entries.popleft())
         return out
 
     def wait_nonempty(self) -> Event:

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from functools import partial
 from typing import Deque, Dict, Optional, Tuple
 
 from ..fabric.nic import CTRL_BYTES, WireMsg
@@ -189,14 +190,13 @@ class QueuePair:
         msg = self._build(wr)
         self._sq_outstanding += 1
         self.context.counters.add("verbs.post_send")
-        env = self.context.env
-        doorbell = nic_params.doorbell_ns
+        # doorbell as a raw timer callback: same transmit instant as the
+        # old per-post process, without the Process/Initialize machinery
+        dt = self.context.env.timeout(nic_params.doorbell_ns)
+        dt.callbacks.append(partial(self._doorbell_fire, msg))
 
-        def ring():
-            yield env.timeout(doorbell)
-            self.context.nic.transmit(msg)
-
-        env.process(ring(), name=f"qp{self.qp_num}:doorbell")
+    def _doorbell_fire(self, msg: WireMsg, _ev) -> None:
+        self.context.nic.transmit(msg)
 
     # -- WR -> WireMsg translation ---------------------------------------------
     def _build(self, wr: SendWR) -> WireMsg:

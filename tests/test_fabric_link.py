@@ -1,0 +1,120 @@
+"""Link-level accounting under faults.
+
+Pins the occupancy/byte bookkeeping of :class:`Link`'s faulty server:
+``_busy_ns`` must grow by one serialisation per *attempt* (failed or
+not), ``link.bytes`` must stay goodput-only with wasted attempts tallied
+under ``link.retrans_bytes`` / ``link.lost_bytes``, and recovery delay
+must land deliveries at the exact modelled instant.  A scripted RNG makes
+the drop sequence deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.fabric.link import Chunk, Link
+from repro.fabric.params import LinkParams
+from repro.sim.core import Environment
+from repro.sim.trace import Counters
+from repro.util.units import serialization_ns
+
+
+class ScriptedRng:
+    """random() returns the scripted values in order (then 1.0 = no drop)."""
+
+    def __init__(self, values):
+        self._values = list(values)
+
+    def random(self) -> float:
+        return self._values.pop(0) if self._values else 1.0
+
+
+def _mk_link(env, counters, rng, drop_rate=0.5, loss_mode="reliable",
+             retransmit_ns=12_000, latency_ns=500, bandwidth_gbps=8.0):
+    params = LinkParams(bandwidth_gbps=bandwidth_gbps, latency_ns=latency_ns,
+                        mtu=4096, drop_rate=drop_rate,
+                        retransmit_ns=retransmit_ns, loss_mode=loss_mode)
+    link = Link(env, params, "uut", counters=counters, rng=rng)
+    delivered = []
+    link.sink = lambda chunk: delivered.append((env.now, chunk))
+    return link, delivered
+
+
+def _chunk(link, wire_bytes=1000):
+    return Chunk(msg=None, offset=0, size=wire_bytes - 30,
+                 wire_bytes=wire_bytes, is_first=True, is_last=True,
+                 path=[link])
+
+
+def test_reliable_retransmit_accounting():
+    env = Environment()
+    counters = Counters()
+    # chunk 1: clean (0.9 >= rate); chunk 2: two drops, then through
+    rng = ScriptedRng([0.9, 0.1, 0.2, 0.9])
+    link, delivered = _mk_link(env, counters, rng)
+    wire = 1000
+    ser = serialization_ns(wire, 8.0)
+
+    c1, c2 = _chunk(link, wire), _chunk(link, wire)
+    link.inbox.put_discard(c1)
+    link.inbox.put_discard(c2)
+    env.run(until=10_000_000)
+
+    assert [c for _, c in delivered] == [c1, c2]
+    # every attempt occupies the wire: 1 (c1) + 2 failed + 1 good (c2)
+    assert link.occupancy_ns() == 4 * ser
+    # goodput-only bytes; wasted attempts tallied separately
+    assert link._bytes == 2 * wire
+    snap = counters.snapshot()
+    assert snap["link.bytes"] == 2 * wire
+    assert snap["link.retrans_bytes"] == 2 * wire
+    assert snap["link.drops"] == 2
+    assert snap["link.chunks"] == 2
+    assert link._drops == 2
+    assert "link.lost_bytes" not in snap
+    # delivery instants: c1 = ser + latency; c2 starts at ser (queued
+    # behind c1), pays two recovery rounds of (ser + retransmit_ns),
+    # then its final serialisation and the propagation latency
+    assert delivered[0][0] == ser + 500
+    assert delivered[1][0] == ser + 2 * (ser + 12_000) + ser + 500
+
+
+def test_reliable_clean_path_accounting():
+    env = Environment()
+    counters = Counters()
+    link, delivered = _mk_link(env, counters, ScriptedRng([0.9, 0.9]))
+    wire = 1000
+    ser = serialization_ns(wire, 8.0)
+    for _ in range(2):
+        link.inbox.put_discard(_chunk(link, wire))
+    env.run(until=1_000_000)
+    assert len(delivered) == 2
+    assert link.occupancy_ns() == 2 * ser
+    snap = counters.snapshot()
+    assert snap["link.bytes"] == 2 * wire
+    assert "link.retrans_bytes" not in snap
+    assert "link.drops" not in snap
+
+
+def test_lossy_drop_accounting():
+    env = Environment()
+    counters = Counters()
+    # chunk 1 dropped, chunk 2 through
+    rng = ScriptedRng([0.1, 0.9])
+    link, delivered = _mk_link(env, counters, rng, loss_mode="lossy")
+    wire = 1000
+    ser = serialization_ns(wire, 8.0)
+    c1, c2 = _chunk(link, wire), _chunk(link, wire)
+    link.inbox.put_discard(c1)
+    link.inbox.put_discard(c2)
+    env.run(until=1_000_000)
+
+    # the lost chunk vanishes but still occupied the wire for one
+    # serialisation; only the survivor counts toward goodput
+    assert [c for _, c in delivered] == [c2]
+    assert link.occupancy_ns() == 2 * ser
+    assert link._bytes == wire
+    snap = counters.snapshot()
+    assert snap["link.bytes"] == wire
+    assert snap["link.lost_bytes"] == wire
+    assert snap["link.drops"] == 1
+    assert snap["link.chunks"] == 1
+    assert delivered[0][0] == 2 * ser + 500

@@ -1,0 +1,210 @@
+"""Equivalence of the calendar-queue and heap scheduler backends.
+
+The calendar backend is only admissible because it is *observably
+identical* to the reference binary heap: same firing order (timestamp,
+then priority, then scheduling order), same clock, same event count, on
+any schedule.  These tests drive randomized workloads through both
+backends side by side and assert byte-identical firing logs, then re-run
+the golden-trace suite in heap mode so both backends pin the same
+pre-optimization fingerprints.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.sim.core as core
+from repro.sim.core import (Environment, Event, Interrupt, NORMAL,
+                            SimulationError, URGENT)
+
+DELAYS = (0, 1, 1, 2, 3, 5, 7, 7, 50, 100, 100, 1000, 12345)
+
+
+def _drive(env: Environment, seed: int, log: list):
+    """Build one randomized workload on ``env``, recording every firing.
+
+    The mix deliberately covers every scheduling entry point the model
+    code uses: process timeout yields (with heavy same-timestamp ties),
+    raw callback-only timers (the link delivery path), callbacks that
+    schedule more work at the current instant (drain-time scheduling),
+    cross-process ``succeed`` wakeups (URGENT resume ordering), and
+    interrupts.
+    """
+    rng = random.Random(seed)
+
+    def ticker(name: str, steps: int):
+        for j in range(steps):
+            yield env.timeout(rng.choice(DELAYS))
+            log.append((env.now, f"{name}.{j}"))
+
+    def waiter(name: str, ev: Event):
+        try:
+            val = yield ev
+        except Interrupt as exc:
+            log.append((env.now, f"{name}.int.{exc.cause}"))
+            return
+        log.append((env.now, f"{name}.woke.{val}"))
+        yield env.timeout(rng.choice(DELAYS))
+        log.append((env.now, f"{name}.done"))
+
+    def trigger(ev: Event, delay: int, value):
+        yield env.timeout(delay)
+        ev.succeed(value)
+        log.append((env.now, f"fired.{value}"))
+
+    # processes with tie-heavy timeout chains (exercises the Timeout
+    # freelist: each yield recycles the previous instance)
+    for i in range(6):
+        env.process(ticker(f"t{i}", rng.randint(5, 40)), name=f"t{i}")
+
+    # cross-process event wakeups, some at identical instants
+    for i in range(8):
+        ev = Event(env)
+        env.process(waiter(f"w{i}", ev), name=f"w{i}")
+        env.process(trigger(ev, rng.choice(DELAYS), i), name=f"g{i}")
+
+    # an interrupted waiter
+    ev = Event(env)
+    victim = env.process(waiter("victim", ev), name="victim")
+
+    def interrupter():
+        yield env.timeout(17)
+        victim.interrupt("bang")
+
+    env.process(interrupter(), name="interrupter")
+
+    # raw callback-only timers, including one that schedules more work
+    # from inside its callback (both at the current instant and later)
+    def arm(label: str, delay: int, chain: int):
+        t = env.timeout(delay)
+
+        def cb(_ev, label=label, chain=chain):
+            log.append((env.now, label))
+            if chain:
+                arm(f"{label}+", rng.choice(DELAYS), chain - 1)
+
+        t.callbacks.append(cb)
+
+    for i in range(12):
+        arm(f"raw{i}", rng.choice(DELAYS), rng.randint(0, 3))
+
+
+def _run_both(seed: int, until=None):
+    logs = []
+    envs = []
+    for mode in ("heap", "calendar"):
+        env = Environment(queue=mode)
+        log: list = []
+        _drive(env, seed, log)
+        if until is None:
+            env.run()
+        else:
+            env.run(until=until)
+        logs.append(log)
+        envs.append(env)
+    return logs, envs
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_schedules_fire_identically(seed):
+    (heap_log, cal_log), (heap_env, cal_env) = _run_both(seed)
+    assert heap_log == cal_log
+    assert heap_env.now == cal_env.now
+    assert heap_env.events_processed == cal_env.events_processed
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_run_until_deadline_identical(seed):
+    # stop mid-schedule: both backends must drain exactly the events due
+    # by the deadline and land the clock *on* it
+    (heap_log, cal_log), (heap_env, cal_env) = _run_both(seed, until=40)
+    assert heap_log == cal_log
+    assert heap_env.now == cal_env.now == 40
+    # resuming from the deadline stays identical
+    heap_env.run()
+    cal_env.run()
+    assert heap_log == cal_log
+    assert heap_env.now == cal_env.now
+
+
+def test_same_instant_priority_and_fifo_order():
+    # at one timestamp: urgent events fire before normal ones, and within
+    # a priority class strictly in scheduling order — on both backends
+    for mode in ("heap", "calendar"):
+        env = Environment(queue=mode)
+        order = []
+
+        def note(tag):
+            return lambda _ev: order.append(tag)
+
+        for i in range(4):
+            ev = Event(env)
+            ev.callbacks.append(note(f"n{i}"))
+            ev.succeed(priority=NORMAL)
+            uv = Event(env)
+            uv.callbacks.append(note(f"u{i}"))
+            uv.succeed(priority=URGENT)
+        env.run()
+        assert order == ["u0", "u1", "u2", "u3", "n0", "n1", "n2", "n3"], mode
+
+
+def test_recycled_timeouts_identical():
+    # a long chain of sequential timeouts recycles Timeout instances via
+    # the freelist; the firing schedule must not depend on recycling
+    logs = []
+    for mode in ("heap", "calendar"):
+        env = Environment(queue=mode)
+        log = []
+
+        def churn():
+            rng = random.Random(99)
+            for j in range(5000):
+                yield env.timeout(rng.choice(DELAYS))
+                log.append((env.now, j))
+
+        env.process(churn(), name="churn")
+        env.run()
+        logs.append(log)
+    assert logs[0] == logs[1]
+
+
+def test_error_paths_identical():
+    for mode in ("heap", "calendar"):
+        env = Environment(queue=mode)
+        with pytest.raises(SimulationError):
+            env.run(until=-1)
+        # run(until=event) on a drained queue is a modelling deadlock
+        env2 = Environment(queue=mode)
+        ev = Event(env2)
+        with pytest.raises(SimulationError):
+            env2.run(until=ev)
+        # negative delays are rejected by both backends
+        env3 = Environment(queue=mode)
+        with pytest.raises(SimulationError):
+            env3.timeout(-5)
+
+
+def test_queue_knob_validation():
+    with pytest.raises(SimulationError):
+        Environment(queue="wheel")
+    assert Environment(queue="heap").queue_mode == "heap"
+    assert Environment(queue="calendar").queue_mode == "calendar"
+    assert Environment().queue_mode == core.DEFAULT_QUEUE
+
+
+# ---------------------------------------------------------------------------
+# the strongest equivalence statement available: the heap backend must
+# reproduce the exact golden fingerprints the calendar backend pins
+# ---------------------------------------------------------------------------
+
+def test_golden_suite_heap_mode(monkeypatch):
+    from tests import test_determinism_golden as golden
+
+    monkeypatch.setattr(core, "DEFAULT_QUEUE", "heap")
+    golden.test_r1_table_matches_golden()
+    golden.test_r4_table_matches_golden()
+    golden.test_r17_table_matches_golden()
+    golden.test_clean_traces_match_golden()
+    golden.test_lossy_traces_match_golden()

@@ -26,7 +26,7 @@ def test_push_poll_fifo():
     assert [w.wr_id for w in got] == [0, 1, 2]
     got = cq.poll()
     assert [w.wr_id for w in got] == [3, 4]
-    assert cq.poll() == []
+    assert list(cq.poll()) == []
 
 
 def test_len_tracks_entries():
