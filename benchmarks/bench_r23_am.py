@@ -1,0 +1,20 @@
+"""Benchmark R23 — active-message invocation layer comparison.
+
+Runs the coalesced-AM vs per-parcel vs two-sided invoke flood (plus the
+unloaded latency probe and the MCTS demo) in quick mode under
+pytest-benchmark and asserts its qualitative shape checks (coalescing
+wins throughput on clean and lossy fabrics, cuts wire messages, the
+per-parcel PWC arm keeps the unloaded latency floor, exact MCTS visit
+accounting).
+"""
+
+from repro.bench.experiments import r23_am
+
+
+def test_r23_am(benchmark):
+    result = benchmark.pedantic(r23_am.run, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.all_checks_pass, \
+        f"shape checks failed: {result.failed_checks()}"

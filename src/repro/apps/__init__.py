@@ -3,6 +3,8 @@
 - :mod:`repro.apps.stencil` — structured-grid halo exchange (R9)
 - :mod:`repro.apps.bfs` — irregular graph traversal over parcels (R10)
 - :mod:`repro.apps.gups` — random remote updates (latency-bound)
+- :mod:`repro.apps.mcts` — Monte-Carlo Tree Search over active
+  messages (R23, Seriema-style remote invocation)
 """
 
 from .bfs import (
@@ -19,6 +21,13 @@ from .gups import (
     run_gups_mpi_rma,
     run_gups_photon,
     run_gups_photon_atomic,
+)
+from .mcts import (
+    MctsResult,
+    build_mcts,
+    owner_of,
+    rollout_reward,
+    run_mcts,
 )
 from .samplesort import (
     SortResult,
@@ -42,6 +51,7 @@ __all__ = [
     "run_bfs_mpi", "run_bfs_photon",
     "GupsResult", "run_gups_mpi_p2p", "run_gups_mpi_rma", "run_gups_photon",
     "run_gups_photon_atomic",
+    "MctsResult", "build_mcts", "owner_of", "rollout_reward", "run_mcts",
     "SortResult", "make_keys", "run_samplesort_mpi", "run_samplesort_photon",
     "verify_sorted",
     "StencilResult", "assemble", "initial_grid", "partition_rows",

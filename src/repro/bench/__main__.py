@@ -28,8 +28,9 @@ from .experiments import ALL
 #: fast, representative subset for CI: a latency microbench, the
 #: registration-cache checks (incl. the pin-leak balance), a fabric
 #: validation, the fault-domain sweep, the KV serving + failover tenant
-#: run, and the KV snapshot/restart/live-move chaos run
-SMOKE = ["r1", "r6", "r14", "r17", "r20", "r21"]
+#: run, the KV snapshot/restart/live-move chaos run, and the
+#: active-message invocation comparison
+SMOKE = ["r1", "r6", "r14", "r17", "r20", "r21", "r23"]
 
 #: median host wall time of ``--smoke`` on the reference machine *before*
 #: the hot-path overhaul (zero-copy payloads, Timeout recycling, clean-
@@ -79,7 +80,7 @@ def _run_timed(wanted, full: bool, repeats: int):
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro.bench")
     parser.add_argument("experiments", nargs="*",
-                        help="experiment ids (r1..r22); default: all")
+                        help="experiment ids (r1..r23); default: all")
     parser.add_argument("--list", action="store_true", dest="list_exps",
                         help="list registered experiments with one-line "
                              "descriptions and exit")

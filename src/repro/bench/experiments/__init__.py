@@ -28,6 +28,7 @@ from . import (
     r20_kvstore,
     r21_snapshots,
     r22_kernel,
+    r23_am,
 )
 
 ALL = {
@@ -53,6 +54,7 @@ ALL = {
     "r20": r20_kvstore,
     "r21": r21_snapshots,
     "r22": r22_kernel,
+    "r23": r23_am,
 }
 
 __all__ = ["ALL"] + [f"r{i}_{n}" for i, n in []]

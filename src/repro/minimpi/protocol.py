@@ -532,7 +532,11 @@ class Engine:
                 sender_req.complete(self.env.now)
         else:
             raise SimulationError(f"bad wire kind {kind}")
-        # repost the bounce
+        # repost the bounce; the QP may have errored while this receive
+        # was being processed (the handler above yields sim time, and a
+        # concurrent send failure flips the QP to ERROR) — re-arm it
+        # first, as the flushed-receive path does
+        self._reconnect(wc.src_rank)
         new_id = next(self._wr_seq)
         ch.recv_slots[new_id] = slot
         ch.qp.post_recv(RecvWR(wr_id=new_id, addr=slot,

@@ -59,6 +59,8 @@ class ActionRegistry:
         return self._handlers[aid]
 
     def name_of(self, aid: int) -> str:
+        if not 0 <= aid < len(self._names):
+            raise SimulationError(f"bad action id {aid}")
         return self._names[aid]
 
     def __len__(self) -> int:

@@ -2,15 +2,25 @@
 
 Message-driven runtimes amortise per-message overhead by packing many
 small parcels bound for the same rank into one network message (AM++'s
-coalescing buffers; HPX-5 does the same over Photon).  This layer wraps
-any transport:
+coalescing buffers; HPX-5 does the same over Photon; Seriema's
+invocation coalescing is the RPC-layer version).  This layer wraps any
+transport:
 
 - ``send`` appends the encoded parcel to the destination's open batch and
   ships the batch when it reaches ``flush_bytes`` / ``flush_count`` — or
-  when ``flush``/``poll`` observes it has been open longer than
-  ``max_delay_ns`` (latency bound);
+  when ``flush``/``flush_stale``/``poll`` observes it has been open
+  longer than ``max_delay_ns`` (latency bound);
 - ``poll`` unpacks batches from the underlying transport and hands the
   contained parcels out one at a time.
+
+Failure handling is deliberate rather than accidental: when the inner
+transport raises :class:`~repro.runtime.transport.PeerDownError` mid-
+ship, the batch is either **shed** (default — the loss is counted in
+``parcels_dropped`` and the ``coalesce.parcels_dropped`` counter, and
+the error propagates to the sender) or **requeued**
+(``requeue_on_peer_down=True`` — the parcels go back into the open
+batch, up to ``max_requeues`` times, so a recovering peer still gets
+them).
 
 The batch wire format is a chain of ``(u32 length, bytes)`` records.
 """
@@ -22,6 +32,7 @@ from collections import deque
 from typing import Deque, Dict, List, Optional
 
 from ..sim.core import SimulationError
+from .transport import PeerDownError
 
 __all__ = ["CoalescingTransport"]
 
@@ -31,19 +42,22 @@ _PARSE_NS = 40
 
 
 class _Batch:
-    __slots__ = ("chunks", "nbytes", "opened_at")
+    __slots__ = ("chunks", "nbytes", "opened_at", "requeues")
 
     def __init__(self, now: int):
         self.chunks: List[bytes] = []
         self.nbytes = 0
         self.opened_at = now
+        self.requeues = 0
 
 
 class CoalescingTransport:
     """Batches small parcels per destination over an inner transport."""
 
     def __init__(self, inner, flush_bytes: int = 4096,
-                 flush_count: int = 16, max_delay_ns: int = 5_000):
+                 flush_count: int = 16, max_delay_ns: int = 5_000,
+                 requeue_on_peer_down: bool = False,
+                 max_requeues: int = 1):
         if flush_bytes < 64 or flush_count < 1:
             raise SimulationError("unreasonable coalescing thresholds")
         self.inner = inner
@@ -51,16 +65,26 @@ class CoalescingTransport:
         self.flush_bytes = flush_bytes
         self.flush_count = flush_count
         self.max_delay_ns = max_delay_ns
+        self.requeue_on_peer_down = requeue_on_peer_down
+        self.max_requeues = max_requeues
         self._open: Dict[int, _Batch] = {}
         self._ready: Deque[bytes] = deque()
         self.batches_sent = 0
         self.parcels_batched = 0
+        self.parcels_dropped = 0
+        # both transports expose the photon/minimpi lib for env + memory;
+        # the counter scope lives on the lib (photon) or its engine (mpi)
+        self._lib = getattr(inner, "ph", None) or getattr(inner, "comm")
+        self.counters = getattr(self._lib, "counters", None) \
+            or self._lib.engine.counters
 
     @property
     def env(self):
-        # both transports expose the photon/minimpi env through their lib
-        lib = getattr(self.inner, "ph", None) or getattr(self.inner, "comm")
-        return lib.env
+        return self._lib.env
+
+    def _peer_down(self, dst: int) -> bool:
+        down = getattr(self.inner, "peer_is_down", None)
+        return down is not None and down(dst)
 
     # ------------------------------------------------------------- sending
     def send(self, dst: int, raw: bytes):
@@ -72,7 +96,9 @@ class CoalescingTransport:
             batch = self._open[dst] = _Batch(self.env.now)
         elif batch.nbytes + framed_len > self.flush_bytes:
             yield from self._ship(dst)
-            batch = self._open[dst] = _Batch(self.env.now)
+            batch = self._open.get(dst)
+            if batch is None:
+                batch = self._open[dst] = _Batch(self.env.now)
         batch.chunks.append(_LEN.pack(len(raw)))
         batch.chunks.append(raw)
         batch.nbytes += framed_len
@@ -85,8 +111,31 @@ class CoalescingTransport:
         batch = self._open.pop(dst, None)
         if batch is None or not batch.chunks:
             return
-        yield from self.inner.send(dst, b"".join(batch.chunks))
+        try:
+            yield from self.inner.send(dst, b"".join(batch.chunks))
+        except PeerDownError:
+            n = len(batch.chunks) // 2
+            if (self.requeue_on_peer_down
+                    and batch.requeues < self.max_requeues):
+                # put the parcels back so a recovering peer still gets
+                # them; restart the staleness clock and merge anything
+                # queued behind us while the send was in flight
+                batch.requeues += 1
+                batch.opened_at = self.env.now
+                newer = self._open.get(dst)
+                if newer is not None:
+                    batch.chunks.extend(newer.chunks)
+                    batch.nbytes += newer.nbytes
+                self._open[dst] = batch
+                self.counters.add("coalesce.parcels_requeued", n)
+                return
+            # shed: account for every parcel the batch carried, then let
+            # the sender see the same error the inner transport raised
+            self.parcels_dropped += n
+            self.counters.add("coalesce.parcels_dropped", n)
+            raise
         self.batches_sent += 1
+        self.counters.add("coalesce.batches_sent")
 
     def flush(self, dst: Optional[int] = None):
         """Ship open batches now (generator) — call at phase boundaries."""
@@ -94,20 +143,54 @@ class CoalescingTransport:
         for d in targets:
             yield from self._ship(d)
 
-    def _flush_stale(self):
+    def flush_stale(self):
+        """Ship batches older than ``max_delay_ns`` (generator).
+
+        Called from :meth:`poll` and from the runtime scheduler between
+        dispatches, so the latency bound holds even on ranks that are
+        busy with local work and rarely poll.  A tripped breaker never
+        propagates out of here: in requeue mode down peers are skipped
+        (no churn), in shed mode the loss is counted and swallowed —
+        there is no specific send to fail.
+        """
         now = self.env.now
         stale = [d for d, b in self._open.items()
                  if now - b.opened_at >= self.max_delay_ns]
         for d in stale:
-            yield from self._ship(d)
+            if self.requeue_on_peer_down and self._peer_down(d):
+                continue
+            try:
+                yield from self._ship(d)
+            except PeerDownError:
+                pass
+
+    # kept as an alias: poll() predates the scheduler-driven flush
+    _flush_stale = flush_stale
+
+    def stale_pending(self) -> bool:
+        """True when an open batch has exceeded the latency bound
+        (pure check — the scheduler uses this to decide whether
+        :meth:`flush_stale` is worth a pass)."""
+        if not self._open:
+            return False
+        now = self.env.now
+        return any(now - b.opened_at >= self.max_delay_ns
+                   for b in self._open.values())
 
     # ------------------------------------------------------------- receiving
-    def poll(self):
+    def poll_pending(self) -> bool:
+        """True when :meth:`poll` could do more than charge poll time."""
+        if self._ready or self.stale_pending():
+            return True
+        inner_pending = getattr(self.inner, "poll_pending", None)
+        return inner_pending() if inner_pending is not None else False
+
+    def poll(self, charge_poll: bool = True):
         """Return the next parcel, unpacking inner batches (generator)."""
-        yield from self._flush_stale()
+        yield from self.flush_stale()
         if self._ready:
             return self._ready.popleft()
-        blob = yield from self.inner.poll()
+        blob = yield from self.inner.poll(charge_poll=charge_poll)
         if blob is None:
             return None
         offset = 0
@@ -121,7 +204,18 @@ class CoalescingTransport:
         if offset != len(blob):
             raise SimulationError("corrupt coalesced batch")
         # unpack cost: copy the batch out + parse each frame header
-        lib = getattr(self.inner, "ph", None) or getattr(self.inner, "comm")
-        yield lib.env.timeout(lib.memory.memcpy_cost_ns(len(blob))
-                              + _PARSE_NS * records)
+        yield self.env.timeout(self._lib.memory.memcpy_cost_ns(len(blob))
+                               + _PARSE_NS * records)
         return self._ready.popleft() if self._ready else None
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-serializable snapshot layered over the inner transport's."""
+        return {
+            "kind": "coalescing",
+            "batches_sent": self.batches_sent,
+            "parcels_batched": self.parcels_batched,
+            "parcels_dropped": self.parcels_dropped,
+            "open_batches": len(self._open),
+            "ready_parcels": len(self._ready),
+            "inner": self.inner.stats(),
+        }

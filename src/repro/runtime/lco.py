@@ -14,17 +14,29 @@ __all__ = ["Future", "AndGate", "ReduceLCO"]
 
 
 class Future:
-    """Single-assignment value."""
+    """Single-assignment value (or error).
 
-    __slots__ = ("_value", "_set")
+    A future settles exactly once, either with :meth:`set` (a value) or
+    :meth:`fail` (an exception).  Readers of a failed future —
+    :meth:`get` and :meth:`wait` — re-raise the stored exception; this is
+    how remote invocation errors propagate back to the invoker
+    (:mod:`repro.runtime.am`).
+    """
+
+    __slots__ = ("_value", "_set", "_error")
 
     def __init__(self):
         self._value: Any = None
         self._set = False
+        self._error: Optional[BaseException] = None
 
     @property
     def ready(self) -> bool:
         return self._set
+
+    @property
+    def failed(self) -> bool:
+        return self._set and self._error is not None
 
     def set(self, value: Any = None) -> None:
         if self._set:
@@ -32,16 +44,30 @@ class Future:
         self._value = value
         self._set = True
 
+    def fail(self, error: BaseException) -> None:
+        """Settle the future with an exception instead of a value."""
+        if self._set:
+            raise SimulationError("future set twice")
+        self._error = error
+        self._set = True
+
     def get(self) -> Any:
         if not self._set:
             raise SimulationError("future read before set")
+        if self._error is not None:
+            raise self._error
         return self._value
 
     def wait(self, rt, timeout_ns: Optional[int] = None):
-        """Pump the runtime until the future is set (generator → value)."""
+        """Pump the runtime until the future settles (generator → value).
+
+        Raises the stored exception if the future failed.
+        """
         ok = yield from rt.process_until(lambda: self._set, timeout_ns)
         if not ok:
             raise SimulationError("future wait timed out")
+        if self._error is not None:
+            raise self._error
         return self._value
 
 

@@ -1,7 +1,17 @@
 """Parcels: the runtime's unit of remote work (HPX-5 terminology).
 
-A parcel is an action id, the source rank, and an opaque payload.  The
-wire format is a 24-byte header followed by the payload bytes.
+A parcel is an action id, the source rank, and an opaque payload.  Two
+wire formats share the ``action`` field's high bit as a discriminator:
+
+- **legacy** (24-byte header ``<qqq``: action, src, size): what every
+  plain ``Runtime.send`` parcel has always used — byte-identical to the
+  pre-AM era, so golden traces and wire accounting are unchanged when
+  the active-message layer is idle;
+- **extended** (40-byte header ``<qqqqq``: action|EXT, src, size, cid,
+  flags): carries the request/reply correlation id and the AM flags the
+  invocation layer (:mod:`repro.runtime.am`) needs.  ``flags`` is zero
+  only on legacy parcels, so the decoder can route flagged parcels to
+  the AM layer without a registry lookup.
 """
 
 from __future__ import annotations
@@ -11,31 +21,57 @@ from dataclasses import dataclass
 
 from ..sim.core import SimulationError
 
-__all__ = ["Parcel", "PARCEL_HDR_SIZE"]
+__all__ = ["Parcel", "PARCEL_HDR_SIZE", "PARCEL_EXT_HDR_SIZE"]
 
 _HDR = struct.Struct("<qqq")  # action id, src, payload size
+_EXT_HDR = struct.Struct("<qqqqq")  # action|EXT, src, size, cid, flags
 PARCEL_HDR_SIZE = _HDR.size
+PARCEL_EXT_HDR_SIZE = _EXT_HDR.size
+
+#: high bit marking the extended header (action ids are small positives)
+_EXT_BIT = 1 << 62
 
 
 @dataclass(frozen=True)
 class Parcel:
-    """One unit of remote work."""
+    """One unit of remote work.
+
+    ``cid``/``flags`` are only non-zero on active-message parcels; plain
+    parcels encode with the legacy 24-byte header.
+    """
 
     action: int
     src: int
     payload: bytes
+    cid: int = 0
+    flags: int = 0
 
     def encode(self) -> bytes:
-        return _HDR.pack(self.action, self.src, len(self.payload)) + self.payload
+        if self.flags == 0 and self.cid == 0:
+            return _HDR.pack(self.action, self.src,
+                             len(self.payload)) + self.payload
+        return _EXT_HDR.pack(self.action | _EXT_BIT, self.src,
+                             len(self.payload), self.cid,
+                             self.flags) + self.payload
 
     @staticmethod
     def decode(raw: bytes) -> "Parcel":
         if len(raw) < PARCEL_HDR_SIZE:
             raise SimulationError(f"short parcel: {len(raw)} bytes")
-        action, src, size = _HDR.unpack(raw[:PARCEL_HDR_SIZE])
-        payload = raw[PARCEL_HDR_SIZE:PARCEL_HDR_SIZE + size]
+        action, src, size = _HDR.unpack_from(raw)
+        cid = flags = 0
+        hdr = PARCEL_HDR_SIZE
+        if action & _EXT_BIT:
+            if len(raw) < PARCEL_EXT_HDR_SIZE:
+                raise SimulationError(
+                    f"short extended parcel: {len(raw)} bytes")
+            action, src, size, cid, flags = _EXT_HDR.unpack_from(raw)
+            action &= ~_EXT_BIT
+            hdr = PARCEL_EXT_HDR_SIZE
+        payload = raw[hdr:hdr + size]
         if len(payload) != size:
             raise SimulationError(
                 f"parcel payload truncated: header says {size}, "
                 f"got {len(payload)}")
-        return Parcel(action=action, src=src, payload=payload)
+        return Parcel(action=action, src=src, payload=payload,
+                      cid=cid, flags=flags)

@@ -14,7 +14,7 @@ import inspect
 from collections import deque
 from typing import Callable, Deque, Optional
 
-from ..sim.core import Environment
+from ..sim.core import Environment, SimulationError
 from .actions import ActionRegistry
 from .parcel import Parcel
 
@@ -38,6 +38,20 @@ class Runtime:
         self.parcels_sent = 0
         self.parcels_run = 0
         self.stopped = False
+        #: active-message engine (attach via :meth:`enable_am`); None
+        #: keeps the plain-parcel fast path byte-identical
+        self.am = None
+        # scheduler-driven stale-batch flushing: resolved once so ranks
+        # on a non-coalescing transport pay a single None check
+        self._stale_pending = getattr(transport, "stale_pending", None)
+        self._stale_flusher = getattr(transport, "flush_stale", None)
+
+    def enable_am(self, config=None):
+        """Attach an active-message engine; returns it (idempotent)."""
+        if self.am is None:
+            from .am import ActiveMessageEngine
+            self.am = ActiveMessageEngine(self, config)
+        return self.am
 
     # ------------------------------------------------------------------ send
     def send(self, dst: int, action: str, payload: bytes = b""):
@@ -52,6 +66,16 @@ class Runtime:
             return
         yield from self.transport.send(dst, parcel.encode())
 
+    def invoke(self, dst: int, action: str, payload: bytes = b""):
+        """Remote invocation (generator → Future) — requires
+        :meth:`enable_am`; see :mod:`repro.runtime.am`."""
+        if self.am is None:
+            raise SimulationError(
+                "active messages not enabled on this runtime "
+                "(call enable_am() or build_runtime(..., am=True))")
+        fut = yield from self.am.invoke(dst, action, payload)
+        return fut
+
     # ------------------------------------------------------------------ run
     def _dispatch(self, parcel: Parcel):
         """Run one parcel's handler inline (generator)."""
@@ -64,15 +88,34 @@ class Runtime:
         if self.counters is not None:
             self.counters.add("rt.parcels_run")
 
+    def _run_parcel(self, parcel: Parcel):
+        """Route one parcel: plain dispatch, or the AM engine for
+        flagged parcels (generator)."""
+        if parcel.flags:
+            if self.am is None:
+                raise SimulationError(
+                    f"rank {self.rank}: active-message parcel "
+                    "(flags set) but no AM engine attached")
+            yield from self.am.handle(parcel)
+            return
+        yield from self._dispatch(parcel)
+
     def progress(self, charge_poll: bool = True):
         """Process at most one parcel (generator → bool processed).
 
         ``charge_poll=False`` is forwarded to transports that support
         pre-charged polling (the KV server loop pays the poll interval
         itself so an idle pass costs one kernel event, not two).
+
+        On a coalescing transport, every progress pass first ships
+        batches past their latency bound — the scheduler drives the
+        stale flush, so a rank grinding through local work cannot sit
+        on a stale batch until its next ``poll``.
         """
+        if self._stale_pending is not None and self._stale_pending():
+            yield from self._stale_flusher()
         if self._local:
-            yield from self._dispatch(self._local.popleft())
+            yield from self._run_parcel(self._local.popleft())
             return True
         if charge_poll:
             raw = yield from self.transport.poll()
@@ -80,7 +123,7 @@ class Runtime:
             raw = yield from self.transport.poll(charge_poll=False)
         if raw is None:
             return False
-        yield from self._dispatch(Parcel.decode(raw))
+        yield from self._run_parcel(Parcel.decode(raw))
         return True
 
     def process_until(self, predicate: Callable[[], bool],

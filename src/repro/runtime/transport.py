@@ -87,6 +87,12 @@ class PhotonTransport:
         #: rendezvous request still owning each staging slot (pipelining:
         #: we only block when a slot must be reused)
         self._slot_rids: List[Optional[int]] = [None] * scratch_slots
+        #: per-slot (dst, nbytes, resends so far) for the owning request —
+        #: the payload persists in the slot, so a failed send can be
+        #: retried in place with the same budget eager parcels get
+        self._slot_meta: List[Optional[tuple]] = [None] * scratch_slots
+        #: number of staging slots with a live request (O(1) poll guard)
+        self._rndv_live = 0
         self._send_cursor = 0
         #: landing ring: concurrent inbound rendezvous fetches
         self._landings = [photon.buffer(max_parcel)
@@ -213,15 +219,9 @@ class PhotonTransport:
         else:
             idx = self._send_cursor
             self._send_cursor = (self._send_cursor + 1) % len(self._send_slots)
-            old = self._slot_rids[idx]
-            if old is not None:
-                # slot reuse: the prior advertisement must have settled
-                yield from self.ph.wait(old)
-                prior = self.ph.request_info(old)
-                if prior.failed:
-                    self.ph.counters.add("transport.parcel_failures")
-                    self._record_failure(prior.peer)
-                self.ph.free_request(old)
+            # slot reuse: the prior advertisement must settle — retrying
+            # in place if it failed — before we overwrite the payload
+            yield from self._settle_slot(idx, blocking=True)
             slot = self._send_slots[idx]
             self.ph.memory.write(slot.addr, raw)
             yield self.ph.env.timeout(
@@ -229,6 +229,53 @@ class PhotonTransport:
             rid = yield from self.ph.send_rdma(dst, slot.addr, len(raw),
                                                tag=PARCEL_TAG)
             self._slot_rids[idx] = rid
+            self._slot_meta[idx] = (dst, len(raw), 0)
+            self._rndv_live += 1
+
+    def _settle_slot(self, idx: int, blocking: bool):
+        """Settle the rendezvous request owning a staging slot (generator).
+
+        A failed send is re-issued from the same slot — the payload is
+        still there until it is overwritten — with the same
+        ``max_send_retries`` budget eager parcels get; exhausted retries
+        count as ``transport.parcel_failures``.  ``blocking``: wait for
+        the request (and any retries) to finish, as the slot is about to
+        be reused; non-blocking callers (:meth:`poll`) bail out while a
+        request is still in flight.
+        """
+        rid = self._slot_rids[idx]
+        if rid is None:
+            return
+        while True:
+            if blocking:
+                yield from self.ph.wait(rid)
+            elif not self.ph.test(rid):
+                return
+            failed = self.ph.request_info(rid).failed
+            self.ph.free_request(rid)
+            dst, nbytes, attempts = self._slot_meta[idx]
+            if not failed:
+                self._slot_rids[idx] = None
+                self._slot_meta[idx] = None
+                self._rndv_live -= 1
+                self._record_success(dst)
+                return
+            self._record_failure(dst)
+            if (attempts < self.max_send_retries
+                    and not self.peer_is_down(dst)):
+                self.ph.counters.add("transport.parcel_resends")
+                rid = yield from self.ph.send_rdma(
+                    dst, self._send_slots[idx].addr, nbytes, tag=PARCEL_TAG)
+                self._slot_rids[idx] = rid
+                self._slot_meta[idx] = (dst, nbytes, attempts + 1)
+                if not blocking:
+                    return
+            else:
+                self.ph.counters.add("transport.parcel_failures")
+                self._slot_rids[idx] = None
+                self._slot_meta[idx] = None
+                self._rndv_live -= 1
+                return
 
     def _reap_eager(self):
         """Settle tracked eager ops; returns parcels needing a resend."""
@@ -273,8 +320,8 @@ class PhotonTransport:
         or anything the endpoint's own progress pass could act on.
         """
         ph = self.ph
-        return bool(self._eager_ops or self._fetches or ph.messages
-                    or ph.infos or ph.progress_pending())
+        return bool(self._eager_ops or self._fetches or self._rndv_live
+                    or ph.messages or ph.infos or ph.progress_pending())
 
     def poll(self, charge_poll: bool = True):
         """One progress pass; returns an encoded parcel or None (generator).
@@ -291,6 +338,12 @@ class PhotonTransport:
             op = yield from self.ph.send_pwc(dst, raw, remote_cid=PARCEL_TAG)
             if op is not None:
                 self._eager_ops.append((dst, op, raw, attempts))
+        # opportunistically settle rendezvous sends so a failed large
+        # parcel is re-shipped now instead of at the next slot reuse
+        if self._rndv_live:
+            for idx, rid in enumerate(self._slot_rids):
+                if rid is not None:
+                    yield from self._settle_slot(idx, blocking=False)
         # inlined ph.probe_message(_parcel_match): one fewer generator
         # set-up on the hottest polling chain in the runtime
         yield from self.ph._progress_once(charge_poll)
@@ -404,14 +457,27 @@ class MpiTransport:
             self.comm.memory.memcpy_cost_ns(len(raw)))
         req = yield from self.comm.isend(slot, len(raw), dst, PARCEL_TAG)
         self._inflight.append(req)
-        # reap finished sends opportunistically
-        self._inflight = [r for r in self._inflight if not r.done]
+        # reap finished sends opportunistically — popping them from the
+        # engine's live-request table like the recv path does, else done
+        # isends accumulate there for the life of the run
+        live: List[MPIRequest] = []
+        for r in self._inflight:
+            if r.done:
+                self.comm.engine.live_requests.pop(r.rid, None)
+            else:
+                live.append(r)
+        self._inflight = live
         if len(self._inflight) >= len(self._send_slots):
             yield from self.comm.waitall(list(self._inflight))
             self._inflight.clear()
 
-    def poll(self):
-        """One progress pass; returns an encoded parcel or None (generator)."""
+    def poll(self, charge_poll: bool = True):
+        """One progress pass; returns an encoded parcel or None (generator).
+
+        ``charge_poll`` is accepted for interface uniformity with
+        :class:`PhotonTransport`; the tag-matching engine charges its own
+        progress cost either way.
+        """
         from ..minimpi.status import ANY_SOURCE
         if not self._primed:
             yield from self._prime()

@@ -183,3 +183,92 @@ def test_coalescing_improves_small_parcel_rate():
         return out["rate"]
 
     assert flood(True) > 1.5 * flood(False)
+
+
+# ---------------------------------------------------------------------------
+# breaker-trip accounting (regression: batches used to vanish silently)
+# ---------------------------------------------------------------------------
+
+def test_batch_shed_on_breaker_trip_is_accounted():
+    """Regression: _ship popped the batch before inner.send, so a
+    PeerDownError made the whole batch vanish with no accounting.  Shed
+    mode (the default) now counts every parcel and re-raises."""
+    from repro.runtime import PeerDownError
+
+    cl = build_cluster(2)
+    ph = photon_init(cl)
+    inner = PhotonTransport(ph[0], breaker_threshold=1,
+                            breaker_cooldown_ns=10 ** 9)
+    tp = CoalescingTransport(inner, flush_count=4)
+    inner._record_failure(1)  # breaker open for the next 1 s
+    assert inner.peer_is_down(1)
+
+    def prog(env):
+        yield from tp.send(1, b"a" * 16)
+        yield from tp.send(1, b"b" * 16)
+        yield from tp.send(1, b"c" * 16)
+        with pytest.raises(PeerDownError):
+            yield from tp.send(1, b"d" * 16)  # 4th parcel trips _ship
+
+    cl.env.run(until=cl.env.process(prog(cl.env)))
+    assert tp.parcels_dropped == 4
+    assert cl.counters.get("coalesce.parcels_dropped") == 4
+    assert not tp._open  # nothing silently retained either
+
+
+def test_batch_requeued_when_peer_recovers():
+    """Requeue mode: the tripped batch goes back into the open batch and
+    ships once the breaker lets a probe through."""
+    cl = build_cluster(2)
+    ph = photon_init(cl)
+    inner0 = PhotonTransport(ph[0], breaker_threshold=1,
+                             breaker_cooldown_ns=200_000)
+    tp0 = CoalescingTransport(inner0, flush_count=2, max_delay_ns=10 ** 9,
+                              requeue_on_peer_down=True, max_requeues=2)
+    tp1 = CoalescingTransport(PhotonTransport(ph[1]), flush_count=2)
+    inner0._record_failure(1)
+    got = []
+
+    def sender(env):
+        yield from tp0.send(1, b"one!")
+        yield from tp0.send(1, b"two!")  # trips _ship -> requeued, no raise
+        assert tp0.parcels_dropped == 0
+        assert cl.counters.get("coalesce.parcels_requeued") == 2
+        yield env.timeout(300_000)  # breaker cooldown expires
+        yield from tp0.flush()
+
+    def receiver(env):
+        while len(got) < 2:
+            raw = yield from tp1.poll()
+            if raw is not None:
+                got.append(raw)
+            else:
+                yield env.timeout(500)
+
+    p0 = cl.env.process(sender(cl.env))
+    p1 = cl.env.process(receiver(cl.env))
+    cl.env.run(until=cl.env.all_of([p0, p1]))
+    assert got == [b"one!", b"two!"]
+    assert tp0.parcels_dropped == 0
+
+
+def test_stale_flush_swallows_peer_down():
+    """flush_stale (poll- or scheduler-driven) must never propagate a
+    tripped breaker: in shed mode the loss is counted and polling
+    continues."""
+    cl = build_cluster(2)
+    ph = photon_init(cl)
+    inner = PhotonTransport(ph[0], breaker_threshold=1,
+                            breaker_cooldown_ns=10 ** 9)
+    tp = CoalescingTransport(inner, flush_count=100, max_delay_ns=1_000)
+
+    def prog(env):
+        yield from tp.send(1, b"doomed")
+        inner._record_failure(1)  # peer dies with the batch open
+        yield env.timeout(5_000)  # batch is now stale
+        raw = yield from tp.poll()  # must not raise
+        assert raw is None
+
+    cl.env.run(until=cl.env.process(prog(cl.env)))
+    assert tp.parcels_dropped == 1
+    assert cl.counters.get("coalesce.parcels_dropped") == 1

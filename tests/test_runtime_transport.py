@@ -176,3 +176,129 @@ def test_runtime_handler_cost_charged():
     p = cl.env.process(prog(cl.env))
     cl.env.run(until=p)
     assert times[0] >= rts[0].handler_cost_ns
+
+
+# ---------------------------------------------------------------------------
+# reliability regressions (the parcel-path bugfix sweep)
+# ---------------------------------------------------------------------------
+
+class _StubHealth:
+    """Minimal health monitor: a mutable dead-set, no heartbeats."""
+
+    def __init__(self):
+        self.dead = set()
+
+    def on_dead(self, cb):
+        pass
+
+    def on_join(self, cb):
+        pass
+
+    def is_dead(self, rank):
+        return rank in self.dead
+
+
+def test_rendezvous_parcel_retried_after_failure():
+    """Regression: a failed rendezvous send used to be discovered only at
+    slot reuse and silently dropped (one counter bump, no resend); large
+    parcels now get the same retry budget as eager ones.
+
+    Scenario: the peer is declared dead while the advertisement's ring
+    entry is still in flight, so the entry WR is flushed with PEER_DEAD
+    and the rendezvous rid settles as failed.  After both sides re-arm
+    the pairing (peer rejoin), the transport's retry budget must
+    re-issue the parcel end to end.
+    """
+    cl = build_cluster(2, params="ib-fdr", seed=17)
+    ph = photon_init(cl)
+    health = _StubHealth()
+    ph[0].attach_health(health)
+    tps = [PhotonTransport(ph[r], max_send_retries=3, breaker_threshold=100)
+           for r in range(2)]
+    size = 64 * 1024  # rendezvous-size
+    got = []
+
+    def driver(env):
+        yield from tps[0].send(1, b"R" * size)
+        # peer dies before the advertisement is acknowledged
+        health.dead.add(1)
+        ph[0].handle_peer_dead(1)
+        yield env.timeout(20_000)
+        # peer rejoins with a fresh incarnation: both views re-arm
+        ph[0].rearm_peer(1)
+        ph[1].rearm_peer(0)
+        for _ in range(200):
+            yield env.timeout(20_000)
+            yield from tps[0].poll()
+            raw = yield from tps[1].poll()
+            if raw is not None:
+                got.append(raw)
+                break
+
+    cl.env.run(until=cl.env.process(driver(cl.env)))
+    assert got == [b"R" * size]
+    assert cl.counters.get("transport.parcel_resends") >= 1
+    assert cl.counters.get("transport.parcel_failures") == 0
+
+
+def test_rendezvous_retry_budget_exhaustion_counts_failure():
+    """With the fabric dead for good, the retry budget runs out and the
+    loss is visible on the transport.parcel_failures path."""
+    from repro.photon import PhotonConfig
+    cl = build_cluster(2, params="ib-fdr", seed=17, link__loss_mode="lossy",
+                       link__drop_rate=1.0, nic__transport_retries=0)
+    ph = photon_init(cl, PhotonConfig(max_op_retries=0,
+                                      op_timeout_ns=100_000,
+                                      entry_resend_limit=0))
+    tps = [PhotonTransport(ph[r], max_send_retries=1, breaker_threshold=100)
+           for r in range(2)]
+
+    def sender(env):
+        yield from tps[0].send(1, b"R" * (64 * 1024))
+        for _ in range(100):
+            yield env.timeout(20_000)
+            yield from tps[0].poll()
+            if cl.counters.get("transport.parcel_failures") >= 1:
+                break
+
+    cl.env.run(until=cl.env.process(sender(cl.env)))
+    assert cl.counters.get("transport.parcel_failures") == 1
+    assert cl.counters.get("transport.parcel_resends") == 1
+    # the slot is free again (no leaked request)
+    assert tps[0]._rndv_live == 0
+    assert all(r is None for r in tps[0]._slot_rids)
+
+
+def test_mpi_send_reap_pops_live_requests():
+    """Regression: the opportunistic send-side reap dropped done isends
+    from the transport's in-flight list without popping them from the
+    engine's live-request table (a leak the recv path never had)."""
+    cl, tps = mpi_pair()
+    n = 60
+    done = {}
+
+    def sender(env):
+        for i in range(n):
+            yield from tps[0].send(1, bytes([i]) * 32)
+            # give the isend time to complete so the next send's reap
+            # observes it done
+            for _ in range(3):
+                yield from tps[0].poll()
+        done["sent"] = True
+
+    def receiver(env):
+        got = 0
+        while got < n:
+            raw = yield from tps[1].poll()
+            if raw is not None:
+                got += 1
+            else:
+                yield env.timeout(200)
+
+    p0 = cl.env.process(sender(cl.env))
+    p1 = cl.env.process(receiver(cl.env))
+    cl.env.run(until=cl.env.all_of([p0, p1]))
+    assert done["sent"]
+    stale = [r for r in tps[0].comm.engine.live_requests.values() if r.done]
+    # without the reap fix nearly all n done isends linger here
+    assert len(stale) < 8
